@@ -1,0 +1,160 @@
+// Command crosstest runs the §8 cross-system test over the simulated
+// Spark-Hive data plane: the full input corpus through the eight
+// write/read plans of Figure 6 and the three backend formats, under the
+// three oracles, and prints the discrepancy report.
+//
+// Usage:
+//
+//	crosstest [-family ss|sh|hs] [-conf key=value]... [-failures N] [-inputs prefix]
+//
+// The -conf flag applies a deployment configuration before testing —
+// "testing systems under the deployment configuration" — so the effect
+// of the fix configurations on the report can be observed directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+)
+
+type confFlags map[string]string
+
+func (c confFlags) String() string { return fmt.Sprint(map[string]string(c)) }
+
+func (c confFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	c[k] = val
+	return nil
+}
+
+func main() {
+	conf := confFlags{}
+	family := flag.String("family", "", "restrict to a plan family: ss, sh, or hs")
+	failures := flag.Int("failures", 0, "print up to N individual oracle failures")
+	inputs := flag.String("inputs", "", "restrict inputs to those whose name has this prefix")
+	parallel := flag.Int("parallel", 1, "worker goroutines executing test cases")
+	wide := flag.Bool("wide", false, "also run the multi-column (wide-table) mode")
+	sweep := flag.Bool("sweep", false, "sweep the fix configurations and diff the discrepancy profiles")
+	partitions := flag.Bool("partitions", false, "also run the partitioned-table mode (candidate new discrepancies)")
+	logsDir := flag.String("logs", "", "write per-oracle failure logs (<family>_<oracle>_failed.json) to this directory")
+	flag.Var(conf, "conf", "Spark configuration override, key=value (repeatable)")
+	flag.Parse()
+
+	corpus, err := core.BuildCorpus()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crosstest: %v\n", err)
+		os.Exit(1)
+	}
+	if *inputs != "" {
+		var filtered []core.Input
+		for _, in := range corpus {
+			if strings.HasPrefix(in.Name, *inputs) {
+				filtered = append(filtered, in)
+			}
+		}
+		corpus = filtered
+	}
+	opts := core.RunOptions{SparkConf: conf, Parallel: *parallel}
+	if *family != "" {
+		opts.Families = []string{*family}
+	}
+
+	fmt.Printf("Running cross-test: %d inputs x %d plans x 3 formats\n\n", len(corpus), plansIn(opts))
+	result, err := core.Run(corpus, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crosstest: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(result.Report.Render())
+
+	if *logsDir != "" {
+		names, err := result.WriteOracleLogs(*logsDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crosstest: writing logs: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nWrote %d oracle failure logs to %s: %s\n", len(names), *logsDir, strings.Join(names, ", "))
+	}
+
+	if *failures > 0 {
+		fmt.Printf("\nFirst %d oracle failures:\n", *failures)
+		for i, f := range result.Failures {
+			if i >= *failures {
+				break
+			}
+			fmt.Printf("  [%s] %s: %s\n", f.Oracle, f.Case.Describe(), f.Detail)
+		}
+	}
+	if unknown := result.Report.UnknownSignatures(); len(unknown) > 0 {
+		fmt.Printf("\nUnmapped signatures (candidate new discrepancies): %v\n", unknown)
+	}
+
+	if *sweep {
+		names := []string{"default"}
+		configs := map[string]map[string]string{"default": nil}
+		for _, d := range inject.Registry() {
+			if len(d.FixConf) == 0 {
+				continue
+			}
+			name := fmt.Sprintf("fix-%d", d.Number)
+			if _, seen := configs[name]; seen {
+				continue
+			}
+			names = append(names, name)
+			configs[name] = d.FixConf
+		}
+		cells, err := core.ConfigSweep(corpus, names, configs, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crosstest: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(core.RenderSweep(cells))
+	}
+
+	if *partitions {
+		pres, err := core.RunPartitions("orc", opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crosstest: partitions: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nPartitioned-table mode: %d failures; candidate new discrepancies: %v\n",
+			len(pres.Failures), pres.Report.UnknownSignatures())
+		if len(pres.Failures) > 0 {
+			fmt.Printf("  example: %s\n", pres.Failures[0].Detail)
+		}
+	}
+
+	if *wide {
+		wres, err := core.RunWide(corpus, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crosstest: wide: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nWide-table mode (%d columns, one table per plan and format): %d failures, %d distinct discrepancies %v\n",
+			len(wres.Columns), len(wres.Failures), len(wres.Report.DistinctKnown()), wres.Report.DistinctKnown())
+	}
+}
+
+func plansIn(opts core.RunOptions) int {
+	if len(opts.Families) == 0 {
+		return len(core.Plans())
+	}
+	n := 0
+	for _, p := range core.Plans() {
+		for _, f := range opts.Families {
+			if p.Family == f {
+				n++
+			}
+		}
+	}
+	return n
+}

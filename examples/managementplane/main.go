@@ -1,0 +1,71 @@
+// Management-plane example: the FLINK-19141 scheduler-configuration
+// mismatch of Figure 3, plus the cross-system configuration plane with
+// provenance tracing — the silent-overwrite (SPARK-16901) and
+// ignored-key (SPARK-10181) patterns of Table 7, and the FLINK-887
+// monitoring kill.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/confplane"
+	"repro/internal/flinksim"
+	"repro/internal/replay"
+	"repro/internal/yarnsim"
+)
+
+func main() {
+	fmt.Println("FLINK-19141 (Figure 3): the two YARN schedulers read different")
+	fmt.Println("configuration keys with inconsistent semantics.")
+	tuned := map[string]string{yarnsim.KeyMinAllocMB: "128"}
+	if err := replay.SchedulerMismatch("capacity", tuned); err == nil {
+		fmt.Println("  capacity scheduler: allocation OK with minimum-allocation-mb=128")
+	}
+	if err := replay.SchedulerMismatch("fair", tuned); err != nil {
+		fmt.Printf("  fair scheduler:     %v\n\n", err)
+	}
+
+	fmt.Println("The configuration plane with provenance (the §6.2.1 mitigation):")
+	plane := confplane.New()
+	plane.AddLayer("yarn-site.xml", map[string]string{
+		"yarn.scheduler.minimum-allocation-mb": "128",
+		"yarn.resourcemanager.scheduler.class": "capacity",
+	})
+	plane.AddLayer("hive-site.xml", map[string]string{
+		"hive.metastore.uris": "thrift://hive-prod:9083",
+	})
+	plane.AddLayer("spark-defaults.conf", map[string]string{
+		"spark.yarn.keytab":    "/etc/krb/svc.keytab",
+		"spark.yarn.principal": "svc@REALM",
+	})
+	// The SPARK-16901 pattern: a programmatic merge silently overwrites
+	// the Hive setting.
+	plane.AddLayer("spark-hadoop-merge", map[string]string{
+		"hive.metastore.uris": "thrift://localhost:9083",
+	})
+
+	// The systems read their keys; the Kerberos pair is never consulted
+	// (the SPARK-10181 pattern).
+	plane.Get("yarn-capacity-scheduler", "yarn.scheduler.minimum-allocation-mb")
+	plane.Get("yarn-rm", "yarn.resourcemanager.scheduler.class")
+	plane.Get("spark-hive-client", "hive.metastore.uris")
+
+	fmt.Println("\nSilent cross-layer overwrites detected:")
+	for _, o := range plane.Overwrites() {
+		fmt.Printf("  %s\n", o)
+	}
+	fmt.Println("\nConfigured but never read (ignored keys):")
+	for _, k := range plane.IgnoredKeys() {
+		fmt.Printf("  %s\n", k)
+	}
+	fmt.Println("\nFull provenance trace:")
+	fmt.Print(plane.Trace("hive.metastore.uris"))
+
+	fmt.Println("\nFLINK-887: monitoring data drives a critical action (Finding 9).")
+	if killed, reason := replay.PmemKill(flinksim.SizingNoHeadroom); killed {
+		fmt.Printf("  %s\n", reason)
+	}
+	if killed, _ := replay.PmemKill(flinksim.SizingWithCutoff); !killed {
+		fmt.Println("  With the memory cutoff, the JobManager survives the monitor.")
+	}
+}

@@ -1,0 +1,194 @@
+// Package confplane models the cross-system configuration plane of
+// §6.2.1: the effective configuration of a co-deployment is assembled
+// by layering and merging the configuration files of several systems,
+// and the Finding 7 failure patterns — silent ignorance, unexpected
+// override, inconsistent context — arise in exactly that assembly.
+//
+// The plane tracks full provenance: where each value came from, which
+// earlier values it silently overwrote, and which system (if any)
+// actually read it. The traceability this provides is the mitigation
+// the paper's §6.2.1 implication calls for.
+package confplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Layer is one configuration source (a file, a system's defaults, a
+// programmatic override), applied in order.
+type Layer struct {
+	Name   string
+	Values map[string]string
+}
+
+// Setting is one key's resolved state with provenance.
+type Setting struct {
+	Key   string
+	Value string
+	// Chain records every layer that set the key, in application
+	// order; the last entry won.
+	Chain []LayerValue
+}
+
+// LayerValue is one (layer, value) contribution.
+type LayerValue struct {
+	Layer string
+	Value string
+}
+
+// Overwrite records a silent cross-layer override — the dominant
+// §6.2.1 pattern (18/30 configuration CSI failures are silent
+// ignorance or unexpected override).
+type Overwrite struct {
+	Key    string
+	Loser  LayerValue
+	Winner LayerValue
+}
+
+// String renders the event for reports.
+func (o Overwrite) String() string {
+	return fmt.Sprintf("%s: %q from layer %s silently overwritten by %q from layer %s",
+		o.Key, o.Loser.Value, o.Loser.Layer, o.Winner.Value, o.Winner.Layer)
+}
+
+// Plane is the assembled cross-system configuration plane.
+type Plane struct {
+	mu       sync.Mutex
+	layers   []Layer
+	settings map[string]*Setting
+	reads    map[string][]string // key -> systems that read it
+}
+
+// New returns an empty plane.
+func New() *Plane {
+	return &Plane{settings: make(map[string]*Setting), reads: make(map[string][]string)}
+}
+
+// AddLayer applies a configuration layer on top of the current state.
+func (p *Plane) AddLayer(name string, values map[string]string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.layers = append(p.layers, Layer{Name: name, Values: values})
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s, ok := p.settings[k]
+		if !ok {
+			s = &Setting{Key: k}
+			p.settings[k] = s
+		}
+		s.Value = values[k]
+		s.Chain = append(s.Chain, LayerValue{Layer: name, Value: values[k]})
+	}
+}
+
+// Get reads a key on behalf of a system, recording the read for
+// ignored-key analysis. The second result reports presence.
+func (p *Plane) Get(system, key string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reads[key] = append(p.reads[key], system)
+	s, ok := p.settings[key]
+	if !ok {
+		return "", false
+	}
+	return s.Value, true
+}
+
+// Effective returns the resolved key/value view.
+func (p *Plane) Effective() map[string]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]string, len(p.settings))
+	for k, s := range p.settings {
+		out[k] = s.Value
+	}
+	return out
+}
+
+// Overwrites returns every silent cross-layer override, sorted by key.
+// An override within the same layer name is not reported.
+func (p *Plane) Overwrites() []Overwrite {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Overwrite
+	for _, s := range p.settings {
+		for i := 1; i < len(s.Chain); i++ {
+			prev, cur := s.Chain[i-1], s.Chain[i]
+			if prev.Layer == cur.Layer || prev.Value == cur.Value {
+				continue
+			}
+			out = append(out, Overwrite{Key: s.Key, Loser: prev, Winner: cur})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// IgnoredKeys returns keys that were configured but never read by any
+// system — the silent-ignorance pattern (SPARK-10181: Kerberos keytab
+// and principal set for the Hive client but never consulted).
+func (p *Plane) IgnoredKeys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for k := range p.settings {
+		if len(p.reads[k]) == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Readers returns the systems that read a key, in read order.
+func (p *Plane) Readers(key string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.reads[key]...)
+}
+
+// Trace renders a key's provenance chain and readers — the
+// cross-system traceability §6.2.1 argues for.
+func (p *Plane) Trace(key string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.settings[key]
+	if !ok {
+		return fmt.Sprintf("%s: unset", key)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s = %q\n", key, s.Value)
+	for i, lv := range s.Chain {
+		marker := "overwritten"
+		if i == len(s.Chain)-1 {
+			marker = "effective"
+		}
+		fmt.Fprintf(&b, "  [%d] layer %-20s value %-20q (%s)\n", i, lv.Layer, lv.Value, marker)
+	}
+	readers := p.reads[key]
+	if len(readers) == 0 {
+		b.WriteString("  read by: nobody (IGNORED)\n")
+	} else {
+		fmt.Fprintf(&b, "  read by: %s\n", strings.Join(readers, ", "))
+	}
+	return b.String()
+}
+
+// Keys returns all configured keys, sorted.
+func (p *Plane) Keys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.settings))
+	for k := range p.settings {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

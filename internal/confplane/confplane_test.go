@@ -1,0 +1,149 @@
+package confplane
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayeringLastWins(t *testing.T) {
+	p := New()
+	p.AddLayer("hive-site.xml", map[string]string{"hive.exec.dynamic.partition": "true", "hive.metastore.uris": "thrift://h1"})
+	p.AddLayer("spark-defaults.conf", map[string]string{"hive.metastore.uris": "thrift://h2"})
+	eff := p.Effective()
+	if eff["hive.metastore.uris"] != "thrift://h2" {
+		t.Errorf("effective = %v", eff)
+	}
+	if eff["hive.exec.dynamic.partition"] != "true" {
+		t.Errorf("effective = %v", eff)
+	}
+}
+
+func TestSilentOverwriteDetection(t *testing.T) {
+	// SPARK-16901 pattern: Spark's merge with the Hadoop configuration
+	// silently overwrites Hive's settings.
+	p := New()
+	p.AddLayer("hive-site.xml", map[string]string{"hive.metastore.uris": "thrift://hive-prod"})
+	p.AddLayer("hadoop-merge", map[string]string{"hive.metastore.uris": "thrift://default"})
+	events := p.Overwrites()
+	if len(events) != 1 {
+		t.Fatalf("overwrites = %v", events)
+	}
+	e := events[0]
+	if e.Key != "hive.metastore.uris" || e.Winner.Layer != "hadoop-merge" || e.Loser.Layer != "hive-site.xml" {
+		t.Errorf("event = %+v", e)
+	}
+	if !strings.Contains(e.String(), "silently overwritten") {
+		t.Errorf("render = %q", e.String())
+	}
+}
+
+func TestSameValueOrSameLayerNotAnOverwrite(t *testing.T) {
+	p := New()
+	p.AddLayer("a", map[string]string{"k": "v"})
+	p.AddLayer("b", map[string]string{"k": "v"}) // same value: harmless
+	if events := p.Overwrites(); len(events) != 0 {
+		t.Errorf("overwrites = %v", events)
+	}
+}
+
+func TestIgnoredKeysDetection(t *testing.T) {
+	// SPARK-10181 pattern: Kerberos settings configured for the Hive
+	// client but never read.
+	p := New()
+	p.AddLayer("spark-defaults.conf", map[string]string{
+		"spark.yarn.keytab":    "/etc/krb/user.keytab",
+		"spark.yarn.principal": "user@REALM",
+		"spark.executor.cores": "4",
+	})
+	if v, ok := p.Get("spark-core", "spark.executor.cores"); !ok || v != "4" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	ignored := p.IgnoredKeys()
+	if len(ignored) != 2 || ignored[0] != "spark.yarn.keytab" || ignored[1] != "spark.yarn.principal" {
+		t.Errorf("ignored = %v", ignored)
+	}
+}
+
+func TestReadersAndTrace(t *testing.T) {
+	p := New()
+	p.AddLayer("yarn-site.xml", map[string]string{"yarn.scheduler.minimum-allocation-mb": "128"})
+	p.AddLayer("flink-conf.yaml", map[string]string{"yarn.scheduler.minimum-allocation-mb": "256"})
+	if _, ok := p.Get("flink", "yarn.scheduler.minimum-allocation-mb"); !ok {
+		t.Fatal("key should exist")
+	}
+	if _, ok := p.Get("yarn-capacity-scheduler", "yarn.scheduler.minimum-allocation-mb"); !ok {
+		t.Fatal("key should exist")
+	}
+	readers := p.Readers("yarn.scheduler.minimum-allocation-mb")
+	if len(readers) != 2 || readers[0] != "flink" {
+		t.Errorf("readers = %v", readers)
+	}
+	trace := p.Trace("yarn.scheduler.minimum-allocation-mb")
+	for _, want := range []string{"yarn-site.xml", "flink-conf.yaml", "effective", "overwritten", "flink"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+	if !strings.Contains(p.Trace("unset.key"), "unset") {
+		t.Error("unset trace")
+	}
+	if !strings.Contains(p.Trace("yarn.scheduler.minimum-allocation-mb"), "flink") {
+		t.Error("trace readers")
+	}
+}
+
+func TestIgnoredMarkerInTrace(t *testing.T) {
+	p := New()
+	p.AddLayer("a", map[string]string{"dead.key": "1"})
+	if !strings.Contains(p.Trace("dead.key"), "IGNORED") {
+		t.Errorf("trace = %q", p.Trace("dead.key"))
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	p := New()
+	if _, ok := p.Get("sys", "nope"); ok {
+		t.Error("missing key should not be found")
+	}
+	// Even a miss is recorded as a read attempt for that key; if the
+	// key is later set, it is not "ignored" retroactively.
+	p.AddLayer("a", map[string]string{"nope": "1"})
+	if ignored := p.IgnoredKeys(); len(ignored) != 0 {
+		t.Errorf("ignored = %v", ignored)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	p := New()
+	p.AddLayer("a", map[string]string{"z": "1", "a": "2", "m": "3"})
+	keys := p.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "z" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestMergeLawLastLayerWinsProperty(t *testing.T) {
+	// For any two layers, the effective value of every key in the
+	// second layer equals the second layer's value.
+	f := func(a, b map[string]string) bool {
+		p := New()
+		p.AddLayer("a", a)
+		p.AddLayer("b", b)
+		eff := p.Effective()
+		for k, v := range b {
+			if eff[k] != v {
+				return false
+			}
+		}
+		for k, v := range a {
+			if _, shadowed := b[k]; !shadowed && eff[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/hivesim"
+	"repro/internal/serde"
+	"repro/internal/sparksim"
+	"repro/internal/sqlval"
+)
+
+// classifyError maps an engine error onto a discrepancy signature. The
+// signature is the clustering key: distinct root causes get distinct
+// signatures, and every failure with the same signature is the same
+// discrepancy observed through a different input or interface pair.
+func classifyError(err error) string {
+	var ise *sparksim.IncompatibleSchemaError
+	if errors.As(err, &ise) {
+		return "avro-incompatible-schema"
+	}
+	var sde *hivesim.SerDeError
+	if errors.As(err, &sde) {
+		return "legacy-binary-decimal"
+	}
+	var ue *serde.UnsupportedError
+	if errors.As(err, &ue) {
+		return "avro-map-key"
+	}
+	var ce *sqlval.CastError
+	if errors.As(err, &ce) {
+		return classifyCast(ce)
+	}
+	// Unrecognized errors cluster by their leading token so genuinely
+	// new failure modes remain visible instead of merging.
+	msg := err.Error()
+	if i := strings.IndexByte(msg, ':'); i > 0 {
+		msg = msg[:i]
+	}
+	return "error-" + strings.ReplaceAll(msg, " ", "-")
+}
+
+func classifyCast(ce *sqlval.CastError) string {
+	switch ce.Code {
+	case "EXCEED_CHAR_LENGTH", "EXCEED_VARCHAR_LENGTH":
+		return "insert-charlength"
+	}
+	return classifyTargetFamily(ce.To)
+}
+
+// classifyTargetFamily names the insert-coercion discrepancy family for
+// a destination type: the engines' divergent coercion of data into this
+// family is one discrepancy regardless of how the bad value was spelled.
+func classifyTargetFamily(t sqlval.Type) string {
+	switch t.Kind {
+	case sqlval.KindDecimal:
+		return "insert-decimal-range"
+	case sqlval.KindTinyInt, sqlval.KindSmallInt:
+		return "insert-smallint-range"
+	case sqlval.KindInt, sqlval.KindBigInt:
+		return "insert-int-range"
+	case sqlval.KindFloat, sqlval.KindDouble:
+		return "insert-float-invalid"
+	case sqlval.KindDate, sqlval.KindTimestamp:
+		return "insert-datetime-invalid"
+	case sqlval.KindBoolean:
+		return "insert-boolean-invalid"
+	case sqlval.KindChar, sqlval.KindVarchar:
+		return "insert-charlength"
+	default:
+		return fmt.Sprintf("insert-invalid-%s", strings.ToLower(t.Kind.String()))
+	}
+}
+
+// classifyValueDiff names the discrepancy behind two successfully-read
+// values that should have been equal.
+func classifyValueDiff(a, b sqlval.Value) string {
+	ka, kb := a.Type.Kind, b.Type.Kind
+	// One widened integral (the Avro INT promotion).
+	if a.Type.IsIntegral() && b.Type.IsIntegral() && ka != kb {
+		return "integral-widening"
+	}
+	// CHAR padding: contents equal modulo trailing spaces.
+	if a.Type.IsCharacter() && b.Type.IsCharacter() && !a.Null && !b.Null {
+		if strings.TrimRight(a.S, " ") == strings.TrimRight(b.S, " ") && a.S != b.S {
+			return "char-padding"
+		}
+	}
+	if ka == sqlval.KindDate && kb == sqlval.KindDate {
+		return "date-rebase"
+	}
+	if ka == sqlval.KindTimestamp && kb == sqlval.KindTimestamp {
+		return "timestamp-zone"
+	}
+	if ka == sqlval.KindStruct || kb == sqlval.KindStruct {
+		if a.Null != b.Null {
+			return "struct-null"
+		}
+	}
+	// A stored value versus a silent NULL points at the insert-coercion
+	// family of the column.
+	if a.Null != b.Null {
+		t := a.Type
+		if a.Null {
+			t = b.Type
+		}
+		return classifyTargetFamily(t)
+	}
+	return fmt.Sprintf("value-mismatch-%s", strings.ToLower(ka.String()))
+}
+
+// outcomeKey summarizes a case for differential comparison: the error
+// signature when the case failed, otherwise the read value and its
+// type. Warnings are deliberately excluded — the §8.1 oracles compare
+// data and behaviour, and warnings are surfaced in the report instead.
+func outcomeKey(c *CaseResult) string {
+	if c.Write.Err != nil {
+		return "werr:" + classifyError(c.Write.Err)
+	}
+	if c.Read.Err != nil {
+		return "rerr:" + classifyError(c.Read.Err)
+	}
+	if !c.Read.HasRow {
+		return "norow"
+	}
+	v := c.Read.Value
+	return fmt.Sprintf("ok:%s:%s", v.Type.Kind, v.String())
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hdfssim"
+	"repro/internal/hivesim"
+	"repro/internal/serde"
+	"repro/internal/sparksim"
+	"repro/internal/sqlval"
+)
+
+// Iface names one of the three write/read interfaces of Figure 6.
+type Iface string
+
+// The three interfaces.
+const (
+	SparkSQL  Iface = "sparksql"
+	DataFrame Iface = "dataframe"
+	HiveQL    Iface = "hiveql"
+)
+
+// ColumnName is the column every test table declares. The mixed case is
+// deliberate: it exposes the case-preservation discrepancies.
+const ColumnName = "TestCol"
+
+// Deployment is a co-deployed Spark+Hive pair sharing one warehouse and
+// one metastore — the system under test.
+type Deployment struct {
+	FS    *hdfssim.FileSystem
+	MS    *hivesim.Metastore
+	Spark *sparksim.Session
+	Hive  *hivesim.Hive
+}
+
+// NewDeployment stands up a fresh co-deployment.
+func NewDeployment() *Deployment {
+	fs := hdfssim.New(nil)
+	ms := hivesim.NewMetastore()
+	return &Deployment{
+		FS:    fs,
+		MS:    ms,
+		Spark: sparksim.NewSession(fs, ms),
+		Hive:  hivesim.New(fs, ms),
+	}
+}
+
+// WriteOutcome records a write attempt through one interface.
+type WriteOutcome struct {
+	Err      error
+	Warnings []string
+}
+
+// ReadOutcome records a read attempt through one interface.
+type ReadOutcome struct {
+	Err      error
+	Warnings []string
+	HasRow   bool
+	Value    sqlval.Value
+	Column   string
+}
+
+// Write creates the table through the interface's native DDL path and
+// inserts the input.
+func (d *Deployment) Write(iface Iface, table, format string, in Input) WriteOutcome {
+	switch iface {
+	case SparkSQL:
+		if _, err := d.Spark.SQL(fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
+			return WriteOutcome{Err: err}
+		}
+		res, err := d.Spark.SQL(fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
+		if err != nil {
+			return WriteOutcome{Err: err}
+		}
+		return WriteOutcome{Warnings: res.Warnings}
+	case DataFrame:
+		schema := serde.Schema{Columns: []serde.Column{{Name: ColumnName, Type: in.Type}}}
+		df, err := d.Spark.CreateDataFrame(schema, []sqlval.Row{{in.Value}})
+		if err != nil {
+			return WriteOutcome{Err: err}
+		}
+		return WriteOutcome{Err: df.SaveAsTable(table, format)}
+	case HiveQL:
+		if _, err := d.Hive.Execute(fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
+			return WriteOutcome{Err: err}
+		}
+		res, err := d.Hive.Execute(fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
+		if err != nil {
+			return WriteOutcome{Err: err}
+		}
+		return WriteOutcome{Warnings: res.Warnings}
+	default:
+		return WriteOutcome{Err: fmt.Errorf("core: unknown interface %q", iface)}
+	}
+}
+
+// Read fetches the single test row through the interface.
+func (d *Deployment) Read(iface Iface, table string) ReadOutcome {
+	switch iface {
+	case SparkSQL:
+		res, err := d.Spark.SQL(fmt.Sprintf("SELECT * FROM %s", table))
+		if err != nil {
+			return ReadOutcome{Err: err}
+		}
+		return readOutcome(res.Columns, res.Rows, res.Warnings)
+	case DataFrame:
+		res, err := d.Spark.Table(table)
+		if err != nil {
+			return ReadOutcome{Err: err}
+		}
+		return readOutcome(res.Columns, res.Rows, res.Warnings)
+	case HiveQL:
+		res, err := d.Hive.Execute(fmt.Sprintf("SELECT * FROM %s", table))
+		if err != nil {
+			return ReadOutcome{Err: err}
+		}
+		return readOutcome(res.Columns, res.Rows, res.Warnings)
+	default:
+		return ReadOutcome{Err: fmt.Errorf("core: unknown interface %q", iface)}
+	}
+}
+
+func readOutcome(cols []serde.Column, rows []sqlval.Row, warnings []string) ReadOutcome {
+	out := ReadOutcome{Warnings: warnings}
+	if len(cols) > 0 {
+		out.Column = cols[0].Name
+	}
+	if len(rows) > 0 && len(rows[0]) > 0 {
+		out.HasRow = true
+		out.Value = rows[0][0]
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/csi"
+)
+
+// CaseResult is one executed test case: an input written through one
+// interface and read back through another, over one backend format.
+type CaseResult struct {
+	Input  *Input
+	Plan   Plan
+	Format string
+	Table  string
+	Write  WriteOutcome
+	Read   ReadOutcome
+}
+
+// Describe renders the case coordinates for logs.
+func (c *CaseResult) Describe() string {
+	return fmt.Sprintf("%s/%s input=%s(%s)", c.Plan.Name(), c.Format, c.Input.Name, c.Input.Literal)
+}
+
+// Failure is one oracle violation.
+type Failure struct {
+	Oracle    csi.Oracle
+	Case      *CaseResult
+	Peer      *CaseResult // differential oracle: the differing case
+	Signature string
+	Detail    string
+}
+
+// RunOptions configure a harness run.
+type RunOptions struct {
+	// SparkConf overrides applied to the deployment's Spark session
+	// before testing — "testing systems under the deployment
+	// configuration (not the default configuration)".
+	SparkConf map[string]string
+	// Families restricts the run to the given plan families
+	// ("ss", "sh", "hs"); empty means all.
+	Families []string
+	// Parallel sets the number of worker goroutines executing test
+	// cases (each case uses its own table; the engines are safe for
+	// concurrent use). Values below 2 run sequentially.
+	Parallel int
+}
+
+// RunResult is the outcome of a harness run.
+type RunResult struct {
+	Cases    []*CaseResult
+	Failures []Failure
+	Report   *Report
+}
+
+// Run executes the full cross-test: every input × plan × format, then
+// applies the three oracles and clusters failures into discrepancies.
+func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
+	d := NewDeployment()
+	for k, v := range opts.SparkConf {
+		d.Spark.Conf().Set(k, v)
+	}
+	plans := Plans()
+	if len(opts.Families) > 0 {
+		want := make(map[string]bool, len(opts.Families))
+		for _, f := range opts.Families {
+			want[f] = true
+		}
+		var filtered []Plan
+		for _, p := range plans {
+			if want[p.Family] {
+				filtered = append(filtered, p)
+			}
+		}
+		plans = filtered
+	}
+
+	var cases []*CaseResult
+	for i := range inputs {
+		in := &inputs[i]
+		for _, plan := range plans {
+			for _, format := range Formats() {
+				table := fmt.Sprintf("t_%s_%s_%04d", plan.Name(), format, in.ID)
+				cases = append(cases, &CaseResult{Input: in, Plan: plan, Format: format, Table: table})
+			}
+		}
+	}
+	execute := func(c *CaseResult) {
+		c.Write = d.Write(c.Plan.Write, c.Table, c.Format, *c.Input)
+		if c.Write.Err == nil {
+			c.Read = d.Read(c.Plan.Read, c.Table)
+		}
+	}
+	if opts.Parallel > 1 {
+		var wg sync.WaitGroup
+		work := make(chan *CaseResult)
+		for w := 0; w < opts.Parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range work {
+					execute(c)
+				}
+			}()
+		}
+		for _, c := range cases {
+			work <- c
+		}
+		close(work)
+		wg.Wait()
+	} else {
+		for _, c := range cases {
+			execute(c)
+		}
+	}
+
+	failures := applyOracles(cases)
+	return &RunResult{
+		Cases:    cases,
+		Failures: failures,
+		Report:   buildReport(failures),
+	}, nil
+}
+
+func applyOracles(cases []*CaseResult) []Failure {
+	var failures []Failure
+	failures = append(failures, writeReadOracle(cases)...)
+	failures = append(failures, errorHandlingOracle(cases)...)
+	failures = append(failures, differentialOracle(cases)...)
+	return failures
+}
+
+// writeReadOracle: for valid data, the data read from the query should
+// be the data written earlier.
+func writeReadOracle(cases []*CaseResult) []Failure {
+	var out []Failure
+	for _, c := range cases {
+		if !c.Input.Valid {
+			continue
+		}
+		switch {
+		case c.Write.Err != nil:
+			out = append(out, Failure{
+				Oracle:    csi.OracleWriteRead,
+				Case:      c,
+				Signature: classifyError(c.Write.Err),
+				Detail:    fmt.Sprintf("write of valid data failed: %v", c.Write.Err),
+			})
+		case c.Read.Err != nil:
+			out = append(out, Failure{
+				Oracle:    csi.OracleWriteRead,
+				Case:      c,
+				Signature: classifyError(c.Read.Err),
+				Detail:    fmt.Sprintf("read of written data failed: %v", c.Read.Err),
+			})
+		case !c.Read.HasRow:
+			out = append(out, Failure{
+				Oracle:    csi.OracleWriteRead,
+				Case:      c,
+				Signature: "row-missing",
+				Detail:    "written row not returned",
+			})
+		case !c.Read.Value.EqualData(c.Input.Expected):
+			out = append(out, Failure{
+				Oracle:    csi.OracleWriteRead,
+				Case:      c,
+				Signature: classifyValueDiff(c.Input.Expected, c.Read.Value),
+				Detail:    fmt.Sprintf("wrote %s, read %s", c.Input.Expected, c.Read.Value),
+			})
+		}
+	}
+	return out
+}
+
+// errorHandlingOracle: invalid data should be rejected or corrected
+// with feedback during the write; a silent store is a failure.
+func errorHandlingOracle(cases []*CaseResult) []Failure {
+	var out []Failure
+	for _, c := range cases {
+		if c.Input.Valid {
+			continue
+		}
+		if c.Write.Err != nil || len(c.Write.Warnings) > 0 {
+			continue // rejected or accompanied by feedback
+		}
+		if c.Read.Err != nil || !c.Read.HasRow {
+			continue
+		}
+		out = append(out, Failure{
+			Oracle:    csi.OracleErrorHandling,
+			Case:      c,
+			Signature: classifyTargetFamily(c.Input.Type),
+			Detail:    fmt.Sprintf("invalid input stored silently as %s", c.Read.Value),
+		})
+	}
+	return out
+}
+
+// differentialOracle: results and behaviour should be consistent across
+// interfaces (within a plan family, per format) and across backend
+// formats (within a plan).
+func differentialOracle(cases []*CaseResult) []Failure {
+	var out []Failure
+	byFamilyFormat := map[string][]*CaseResult{}
+	byPlan := map[string][]*CaseResult{}
+	for _, c := range cases {
+		kf := fmt.Sprintf("%d|%s|%s", c.Input.ID, c.Plan.Family, c.Format)
+		byFamilyFormat[kf] = append(byFamilyFormat[kf], c)
+		kp := fmt.Sprintf("%d|%s", c.Input.ID, c.Plan.Name())
+		byPlan[kp] = append(byPlan[kp], c)
+	}
+	out = append(out, diffGroups(byFamilyFormat, "across interfaces")...)
+	out = append(out, diffGroups(byPlan, "across formats")...)
+	return out
+}
+
+func diffGroups(groups map[string][]*CaseResult, scope string) []Failure {
+	var out []Failure
+	for _, group := range groups {
+		if len(group) < 2 {
+			continue
+		}
+		base := group[0]
+		baseKey := outcomeKey(base)
+		for _, peer := range group[1:] {
+			peerKey := outcomeKey(peer)
+			if peerKey == baseKey {
+				continue
+			}
+			out = append(out, Failure{
+				Oracle:    csi.OracleDifferential,
+				Case:      base,
+				Peer:      peer,
+				Signature: classifyDiffPair(base, peer),
+				Detail:    fmt.Sprintf("inconsistent %s: %s [%s] vs %s [%s]", scope, base.Describe(), baseKey, peer.Describe(), peerKey),
+			})
+		}
+	}
+	return out
+}
+
+// classifyDiffPair derives the signature for a differing pair: a
+// distinctive error on either side wins; otherwise the value difference
+// is classified.
+func classifyDiffPair(a, b *CaseResult) string {
+	for _, c := range []*CaseResult{a, b} {
+		if c.Write.Err != nil {
+			return classifyError(c.Write.Err)
+		}
+		if c.Read.Err != nil {
+			return classifyError(c.Read.Err)
+		}
+	}
+	if a.Read.HasRow != b.Read.HasRow {
+		// A row present on one side only: Hive's struct fold or a write
+		// rejected elsewhere.
+		if strings.Contains(a.Input.Type.String(), "STRUCT") {
+			return "struct-null"
+		}
+		return "row-presence"
+	}
+	if !a.Input.Valid {
+		// Divergent handling of invalid input is the insert-coercion
+		// discrepancy of the destination family, however the stored
+		// values happen to differ (NULL vs wrapped vs accepted).
+		return classifyTargetFamily(a.Input.Type)
+	}
+	return classifyValueDiff(a.Read.Value, b.Read.Value)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/csi"
+)
+
+// Oracle failure logs, in the layout of the original artifact: one
+// JSON file per (plan family, oracle) — ss_difft_failed.json,
+// sh_wr_failed.json, and so on — each entry naming the input, the
+// write/read interfaces, and the backend format that failed.
+
+// LogEntry is one failure in an oracle log.
+type LogEntry struct {
+	Index     int    `json:"index"`
+	Input     string `json:"input"`
+	Literal   string `json:"literal"`
+	Type      string `json:"type"`
+	Plan      string `json:"plan"`
+	Format    string `json:"format"`
+	Oracle    string `json:"oracle"`
+	Signature string `json:"signature"`
+	Detail    string `json:"detail"`
+	Peer      string `json:"peer,omitempty"`
+}
+
+// OracleLogs groups the run's failures by "<family>_<oracle>", sorted
+// by input id then plan then format.
+func (r *RunResult) OracleLogs() map[string][]LogEntry {
+	out := map[string][]LogEntry{}
+	for _, f := range r.Failures {
+		key := fmt.Sprintf("%s_%s", f.Case.Plan.Family, f.Oracle)
+		entry := LogEntry{
+			Index:     f.Case.Input.ID,
+			Input:     f.Case.Input.Name,
+			Literal:   f.Case.Input.Literal,
+			Type:      f.Case.Input.Type.String(),
+			Plan:      f.Case.Plan.Name(),
+			Format:    f.Case.Format,
+			Oracle:    f.Oracle.String(),
+			Signature: f.Signature,
+			Detail:    f.Detail,
+		}
+		if f.Peer != nil {
+			entry.Peer = f.Peer.Describe()
+		}
+		out[key] = append(out[key], entry)
+	}
+	for key := range out {
+		entries := out[key]
+		sort.Slice(entries, func(i, j int) bool {
+			a, b := entries[i], entries[j]
+			if a.Index != b.Index {
+				return a.Index < b.Index
+			}
+			if a.Plan != b.Plan {
+				return a.Plan < b.Plan
+			}
+			return a.Format < b.Format
+		})
+	}
+	return out
+}
+
+// WriteOracleLogs writes each group to dir as
+// "<family>_<oracle>_failed.json", creating dir if needed. It returns
+// the file names written, sorted.
+func (r *RunResult) WriteOracleLogs(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	logs := r.OracleLogs()
+	names := make([]string, 0, len(logs))
+	for key := range logs {
+		names = append(names, key+"_failed.json")
+	}
+	sort.Strings(names)
+	for key, entries := range logs {
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, key+"_failed.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// oracleNames lists the log keys a full run can produce.
+func oracleNames() []string {
+	var out []string
+	for _, fam := range []string{"ss", "sh", "hs"} {
+		for _, o := range []csi.Oracle{csi.OracleWriteRead, csi.OracleErrorHandling, csi.OracleDifferential} {
+			out = append(out, fmt.Sprintf("%s_%s", fam, o))
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/csi"
+	"repro/internal/sqlval"
+)
+
+// Partition-mode testing extends the Figure 6 setup to partitioned
+// tables: partition values travel through directory names rather than
+// file payloads, crossing a different encoding boundary (path
+// escaping). The §8 artifact did not cover partitions — this mode is
+// the "more general tool" direction, and the divergent escaping it
+// exposes clusters as an UNKNOWN signature: a candidate new
+// discrepancy rather than one of the known 15.
+
+// PartitionInput is one partition value under test.
+type PartitionInput struct {
+	ID      int
+	Name    string
+	Literal string // SQL literal for the STRING partition value
+	Value   string // the expected decoded value
+}
+
+// PartitionCorpus returns partition values covering the path-escaping
+// hazard classes: plain, whitespace, path separators, the escape
+// character itself, unicode, and NULL.
+func PartitionCorpus() []PartitionInput {
+	return []PartitionInput{
+		{0, "plain", "'daily'", "daily"},
+		{1, "space", "'big sale'", "big sale"},
+		{2, "slash", "'a/b'", "a/b"},
+		{3, "equals", "'k=v'", "k=v"},
+		{4, "percent", "'100%'", "100%"},
+		{5, "unicode", "'ümlaut'", "ümlaut"},
+		{6, "colon", "'12:30'", "12:30"},
+		{7, "hash", "'tag#1'", "tag#1"},
+	}
+}
+
+// partitionPlans are the Figure 6 plans whose write interface supports
+// partitioned DDL (the DataFrame writer is excluded: partitioned saves
+// go through SQL in this simulator, as in many real pipelines).
+func partitionPlans() []Plan {
+	var out []Plan
+	for _, p := range Plans() {
+		if p.Write != DataFrame {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RunPartitions executes the partition-mode cross-test over one format
+// and applies the write-read and differential oracles to the partition
+// value read back.
+func RunPartitions(format string, opts RunOptions) (*RunResult, error) {
+	d := NewDeployment()
+	for k, v := range opts.SparkConf {
+		d.Spark.Conf().Set(k, v)
+	}
+	inputs := PartitionCorpus()
+	var cases []*CaseResult
+	for i := range inputs {
+		pin := inputs[i]
+		// Adapt to the harness's Input carrier: the column under test is
+		// the partition column.
+		in := Input{
+			ID:      pin.ID,
+			Name:    "partition_" + pin.Name,
+			Type:    sqlval.String,
+			Literal: pin.Literal,
+			Valid:   true,
+		}
+		in.Expected = sqlval.StringVal(pin.Value)
+		for _, plan := range partitionPlans() {
+			table := fmt.Sprintf("pt_%s_%s_%02d", plan.Name(), format, pin.ID)
+			c := &CaseResult{Input: &in, Plan: plan, Format: format, Table: table}
+			c.Write = writePartitioned(d, plan.Write, table, format, pin)
+			if c.Write.Err == nil {
+				c.Read = readPartitionValue(d, plan.Read, table)
+			}
+			cases = append(cases, c)
+		}
+	}
+
+	var failures []Failure
+	for _, c := range cases {
+		switch {
+		case c.Write.Err != nil:
+			failures = append(failures, Failure{
+				Oracle: csi.OracleWriteRead, Case: c,
+				Signature: classifyError(c.Write.Err),
+				Detail:    fmt.Sprintf("partitioned write failed: %v", c.Write.Err),
+			})
+		case c.Read.Err != nil:
+			failures = append(failures, Failure{
+				Oracle: csi.OracleWriteRead, Case: c,
+				Signature: classifyError(c.Read.Err),
+				Detail:    fmt.Sprintf("partitioned read failed: %v", c.Read.Err),
+			})
+		case !c.Read.HasRow:
+			failures = append(failures, Failure{
+				Oracle: csi.OracleWriteRead, Case: c,
+				Signature: "row-missing", Detail: "partition row not returned",
+			})
+		case !c.Read.Value.EqualData(c.Input.Expected):
+			failures = append(failures, Failure{
+				Oracle: csi.OracleWriteRead, Case: c,
+				Signature: "partition-path-escaping",
+				Detail: fmt.Sprintf("partition value round trip: wrote %s, read %s",
+					c.Input.Expected, c.Read.Value),
+			})
+		}
+	}
+	// Differential across plans per input.
+	byInput := map[int][]*CaseResult{}
+	for _, c := range cases {
+		byInput[c.Input.ID] = append(byInput[c.Input.ID], c)
+	}
+	for _, group := range byInput {
+		base := group[0]
+		baseKey := outcomeKey(base)
+		for _, peer := range group[1:] {
+			if outcomeKey(peer) == baseKey {
+				continue
+			}
+			failures = append(failures, Failure{
+				Oracle: csi.OracleDifferential, Case: base, Peer: peer,
+				Signature: "partition-path-escaping",
+				Detail: fmt.Sprintf("partition value inconsistent: %s [%s] vs %s [%s]",
+					base.Describe(), baseKey, peer.Describe(), outcomeKey(peer)),
+			})
+		}
+	}
+	return &RunResult{Cases: cases, Failures: failures, Report: buildReport(failures)}, nil
+}
+
+func writePartitioned(d *Deployment, iface Iface, table, format string, pin PartitionInput) WriteOutcome {
+	create := fmt.Sprintf("CREATE TABLE %s (N INT) PARTITIONED BY (Tag STRING) STORED AS %s", table, format)
+	insert := fmt.Sprintf("INSERT INTO %s VALUES (1, %s)", table, pin.Literal)
+	switch iface {
+	case SparkSQL:
+		if _, err := d.Spark.SQL(create); err != nil {
+			return WriteOutcome{Err: err}
+		}
+		res, err := d.Spark.SQL(insert)
+		if err != nil {
+			return WriteOutcome{Err: err}
+		}
+		return WriteOutcome{Warnings: res.Warnings}
+	case HiveQL:
+		if _, err := d.Hive.Execute(create); err != nil {
+			return WriteOutcome{Err: err}
+		}
+		res, err := d.Hive.Execute(insert)
+		if err != nil {
+			return WriteOutcome{Err: err}
+		}
+		return WriteOutcome{Warnings: res.Warnings}
+	default:
+		return WriteOutcome{Err: fmt.Errorf("core: interface %q cannot write partitioned tables", iface)}
+	}
+}
+
+func readPartitionValue(d *Deployment, iface Iface, table string) ReadOutcome {
+	out := d.Read(iface, table)
+	if out.Err != nil || !out.HasRow {
+		return out
+	}
+	// The deployment's Read returns the first column; re-read and take
+	// the partition column.
+	switch iface {
+	case SparkSQL:
+		res, err := d.Spark.SQL(fmt.Sprintf("SELECT Tag FROM %s", table))
+		if err != nil {
+			return ReadOutcome{Err: err}
+		}
+		if len(res.Rows) == 0 {
+			return ReadOutcome{}
+		}
+		return ReadOutcome{HasRow: true, Value: res.Rows[0][0], Warnings: res.Warnings}
+	case DataFrame:
+		res, err := d.Spark.Table(table)
+		if err != nil {
+			return ReadOutcome{Err: err}
+		}
+		if len(res.Rows) == 0 {
+			return ReadOutcome{}
+		}
+		last := len(res.Rows[0]) - 1
+		return ReadOutcome{HasRow: true, Value: res.Rows[0][last], Warnings: res.Warnings}
+	case HiveQL:
+		hres, err := d.Hive.Execute(fmt.Sprintf("SELECT tag FROM %s", table))
+		if err != nil {
+			return ReadOutcome{Err: err}
+		}
+		if len(hres.Rows) == 0 {
+			return ReadOutcome{}
+		}
+		return ReadOutcome{HasRow: true, Value: hres.Rows[0][0], Warnings: hres.Warnings}
+	default:
+		return ReadOutcome{Err: fmt.Errorf("core: unknown interface %q", iface)}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+// Plan is one write→read interface pair of Figure 6.
+type Plan struct {
+	Family string // "ss" (Spark to Spark), "sh" (Spark to Hive), "hs" (Hive to Spark)
+	Write  Iface
+	Read   Iface
+}
+
+// Name is the artifact's plan label, e.g. "w_sql_r_df".
+func (p Plan) Name() string {
+	short := func(i Iface) string {
+		switch i {
+		case SparkSQL:
+			return "sql"
+		case DataFrame:
+			return "df"
+		default:
+			return "hive"
+		}
+	}
+	return "w_" + short(p.Write) + "_r_" + short(p.Read)
+}
+
+// Plans returns the eight write/read pairs of the Figure 6 setup:
+// four Spark-to-Spark, two Spark-to-Hive, two Hive-to-Spark.
+func Plans() []Plan {
+	return []Plan{
+		{Family: "ss", Write: SparkSQL, Read: SparkSQL},
+		{Family: "ss", Write: SparkSQL, Read: DataFrame},
+		{Family: "ss", Write: DataFrame, Read: SparkSQL},
+		{Family: "ss", Write: DataFrame, Read: DataFrame},
+		{Family: "sh", Write: SparkSQL, Read: HiveQL},
+		{Family: "sh", Write: DataFrame, Read: HiveQL},
+		{Family: "hs", Write: HiveQL, Read: SparkSQL},
+		{Family: "hs", Write: HiveQL, Read: DataFrame},
+	}
+}
+
+// Formats returns the backend formats under test, in the paper's order.
+func Formats() []string { return []string{"orc", "parquet", "avro"} }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/csi"
+	"repro/internal/inject"
+)
+
+// Found is one distinct discrepancy discovered by a run: a failure
+// cluster mapped (when possible) onto the registry of known issues.
+type Found struct {
+	Signature string
+	Known     *inject.Discrepancy // nil for signatures outside the registry
+	Failures  []Failure
+	Oracles   map[csi.Oracle]int
+}
+
+// Example returns a representative failure detail.
+func (f *Found) Example() string {
+	if len(f.Failures) == 0 {
+		return ""
+	}
+	return f.Failures[0].Case.Describe() + ": " + f.Failures[0].Detail
+}
+
+// Report clusters a run's failures into distinct discrepancies.
+type Report struct {
+	Found    []Found
+	ByOracle map[csi.Oracle]int
+}
+
+func buildReport(failures []Failure) *Report {
+	clusters := map[string]*Found{}
+	bySig := inject.BySignature()
+	byOracle := map[csi.Oracle]int{}
+	for _, f := range failures {
+		byOracle[f.Oracle]++
+		c, ok := clusters[f.Signature]
+		if !ok {
+			c = &Found{Signature: f.Signature, Oracles: map[csi.Oracle]int{}}
+			if d, known := bySig[f.Signature]; known {
+				dd := d
+				c.Known = &dd
+			}
+			clusters[f.Signature] = c
+		}
+		c.Failures = append(c.Failures, f)
+		c.Oracles[f.Oracle]++
+	}
+	report := &Report{ByOracle: byOracle}
+	for _, c := range clusters {
+		report.Found = append(report.Found, *c)
+	}
+	sort.Slice(report.Found, func(i, j int) bool {
+		a, b := report.Found[i], report.Found[j]
+		switch {
+		case a.Known != nil && b.Known != nil:
+			return a.Known.Number < b.Known.Number
+		case a.Known != nil:
+			return true
+		case b.Known != nil:
+			return false
+		default:
+			return a.Signature < b.Signature
+		}
+	})
+	return report
+}
+
+// DistinctKnown returns the registry numbers of the known discrepancies
+// the run exposed.
+func (r *Report) DistinctKnown() []int {
+	var out []int
+	for _, f := range r.Found {
+		if f.Known != nil {
+			out = append(out, f.Known.Number)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UnknownSignatures returns clusters that did not map to the registry —
+// candidate new discrepancies.
+func (r *Report) UnknownSignatures() []string {
+	var out []string
+	for _, f := range r.Found {
+		if f.Known == nil {
+			out = append(out, f.Signature)
+		}
+	}
+	return out
+}
+
+// CategoryCounts tallies §8.2 category membership over the found known
+// discrepancies.
+func (r *Report) CategoryCounts() map[inject.Category]int {
+	return inject.CategoryCounts(r.DistinctKnown())
+}
+
+// ConnectorShare reports how many of the found discrepancies live in
+// dedicated connector modules versus generic engine code — Finding
+// 13/14's observation that connectors are a small but failure-dense
+// starting point for CSI testing.
+func (r *Report) ConnectorShare() (inConnector, generic int) {
+	for _, f := range r.Found {
+		if f.Known == nil {
+			continue
+		}
+		if f.Known.InConnector {
+			inConnector++
+		} else {
+			generic++
+		}
+	}
+	return inConnector, generic
+}
+
+// Render produces the human-readable report: the per-oracle failure
+// totals, the distinct discrepancies with their JIRA ids and category
+// labels, and the category tallies of §8.2.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cross-system testing report (Spark-Hive data plane)\n")
+	fmt.Fprintf(&b, "====================================================\n\n")
+	fmt.Fprintf(&b, "Oracle failures: wr=%d eh=%d difft=%d\n\n",
+		r.ByOracle[csi.OracleWriteRead], r.ByOracle[csi.OracleErrorHandling], r.ByOracle[csi.OracleDifferential])
+	fmt.Fprintf(&b, "Distinct discrepancies: %d\n\n", len(r.Found))
+	for _, f := range r.Found {
+		if f.Known != nil {
+			id := f.Known.JIRA
+			if id == "" {
+				id = "(unreported)"
+			}
+			fmt.Fprintf(&b, "#%-2d %-12s %s\n", f.Known.Number, id, f.Known.Title)
+			if len(f.Known.Categories) > 0 {
+				cats := make([]string, len(f.Known.Categories))
+				for i, c := range f.Known.Categories {
+					cats[i] = string(c)
+				}
+				fmt.Fprintf(&b, "    categories: %s\n", strings.Join(cats, ", "))
+			}
+			if len(f.Known.FixConf) > 0 {
+				for k, v := range f.Known.FixConf {
+					fmt.Fprintf(&b, "    resolved by: %s=%s\n", k, v)
+				}
+			}
+		} else {
+			fmt.Fprintf(&b, "??  %-12s (not in registry)\n", f.Signature)
+		}
+		if f.Known != nil && f.Known.Module != "" {
+			fmt.Fprintf(&b, "    module: %s\n", f.Known.Module)
+		}
+		fmt.Fprintf(&b, "    failures: %d (wr=%d eh=%d difft=%d)\n", len(f.Failures),
+			f.Oracles[csi.OracleWriteRead], f.Oracles[csi.OracleErrorHandling], f.Oracles[csi.OracleDifferential])
+		fmt.Fprintf(&b, "    example: %s\n\n", f.Example())
+	}
+	inConn, generic := r.ConnectorShare()
+	fmt.Fprintf(&b, "Module locality (Finding 13/14): %d in dedicated connectors, %d in generic engine code\n\n", inConn, generic)
+	fmt.Fprintf(&b, "Category tallies (paper: 2/2/5/7/8):\n")
+	counts := r.CategoryCounts()
+	for _, c := range inject.Categories() {
+		fmt.Fprintf(&b, "  %-36s %d/%d\n", c, counts[c], inject.PaperCategoryCounts[c])
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+// Package csi defines the shared vocabulary of the cross-system
+// interaction (CSI) failure study: the systems under study, the logical
+// interaction planes, oracle identifiers, and the discrepancy registry
+// keys used across the simulators and the testing framework.
+//
+// The definitions follow §2 of "Fail through the Cracks: Cross-System
+// Interaction Failures in Modern Cloud Systems" (EuroSys '23).
+package csi
+
+import "fmt"
+
+// System identifies one of the seven open-source systems in the study
+// (Table 1) plus the simulated substrates they interact with.
+type System string
+
+// The systems studied in the paper.
+const (
+	Spark System = "Spark"
+	Hive  System = "Hive"
+	YARN  System = "YARN"
+	HDFS  System = "HDFS"
+	Flink System = "Flink"
+	Kafka System = "Kafka"
+	HBase System = "HBase"
+)
+
+// Systems lists the seven target systems in the order of Table 1.
+func Systems() []System {
+	return []System{Spark, Hive, YARN, HDFS, Flink, Kafka, HBase}
+}
+
+// Plane is a logical interaction plane as defined in §2.2.
+type Plane int
+
+// The three planes of §2.2.
+const (
+	ControlPlane Plane = iota
+	DataPlane
+	ManagementPlane
+)
+
+// String returns the plane name used in the paper's tables.
+func (p Plane) String() string {
+	switch p {
+	case ControlPlane:
+		return "Control"
+	case DataPlane:
+		return "Data"
+	case ManagementPlane:
+		return "Management"
+	default:
+		return fmt.Sprintf("Plane(%d)", int(p))
+	}
+}
+
+// Oracle identifies one of the three test oracles of §8.1.
+type Oracle int
+
+// The three oracles applied by the cross-testing framework.
+const (
+	// OracleWriteRead checks that valid data read back equals the data
+	// written earlier, possibly through a different interface.
+	OracleWriteRead Oracle = iota
+	// OracleErrorHandling checks that invalid data is either rejected or
+	// corrected with feedback during the write.
+	OracleErrorHandling
+	// OracleDifferential checks that results and behavior are consistent
+	// across interfaces and backend formats.
+	OracleDifferential
+)
+
+// String returns the short oracle name used in the artifact's logs
+// (wr, eh, difft).
+func (o Oracle) String() string {
+	switch o {
+	case OracleWriteRead:
+		return "wr"
+	case OracleErrorHandling:
+		return "eh"
+	case OracleDifferential:
+		return "difft"
+	default:
+		return fmt.Sprintf("Oracle(%d)", int(o))
+	}
+}
+
+// Interaction names an upstream→downstream relationship from Table 1.
+type Interaction struct {
+	Upstream   System
+	Downstream System
+}
+
+// String formats the interaction as "Upstream->Downstream".
+func (i Interaction) String() string {
+	return string(i.Upstream) + "->" + string(i.Downstream)
+}
+
+// IssueID is a JIRA-style issue identifier such as "SPARK-27239".
+// Synthesized dataset records use the reserved "CSI-" project prefix.
+type IssueID string
+
+// Synthesized reports whether the id denotes a synthesized record rather
+// than a real JIRA issue named in the paper.
+func (id IssueID) Synthesized() bool {
+	return len(id) >= 4 && id[:4] == "CSI-"
+}

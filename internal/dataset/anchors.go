@@ -1,0 +1,195 @@
+package dataset
+
+import "repro/internal/csi"
+
+// anchors are the real JIRA issues the paper names, with their
+// attributes assigned from the paper's own discussion of each case
+// (the section or table where each appears is noted).
+func anchors() []Failure {
+	sym := func(scope SymptomScope, name string, crashing bool) Symptom {
+		return Symptom{Scope: scope, Name: name, Crashing: crashing}
+	}
+	return []Failure{
+		// --- Control plane (Table 8, §2.3, §6.3) -----------------------
+		{
+			ID: "FLINK-12342", Title: "Flink uses the YARN container-request API with a synchronous assumption, flooding the RM (Figure 1)",
+			Upstream: csi.Flink, Downstream: csi.YARN, Plane: csi.ControlPlane,
+			ControlPattern: APISemanticViolation, APIMisuse: ImplicitSemanticViolation,
+			Symptom:    sym(ScopeCluster, "Performance issue", false),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "HBASE-537", Title: "HBase wrongly assumed HDFS NameNode readiness while it was in safe mode",
+			Upstream: csi.HBase, Downstream: csi.HDFS, Plane: csi.ControlPlane,
+			ControlPattern: StateResourceInconsistency,
+			Symptom:        sym(ScopeCluster, "Startup failure", true),
+			FixPattern:     FixChecking, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "HBASE-16621", Title: "Asynchrony-induced stale state between HBase and HDFS under concurrent events",
+			Upstream: csi.HBase, Downstream: csi.HDFS, Plane: csi.ControlPlane,
+			ControlPattern: StateResourceInconsistency,
+			Symptom:        sym(ScopeCluster, "Runtime crash/hang", true),
+			FixPattern:     FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "SPARK-2604", Title: "Inconsistent resource calculations between Spark and YARN",
+			Upstream: csi.Spark, Downstream: csi.YARN, Plane: csi.ControlPlane,
+			ControlPattern: StateResourceInconsistency,
+			Symptom:        sym(ScopeJob, "Job/task startup", true),
+			FixPattern:     FixChecking, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "YARN-9724", Title: "Spark assumed availability of getYarnClusterMetrics in all YARN modes; fixed downstream as an API-contract bug",
+			Upstream: csi.Spark, Downstream: csi.YARN, Plane: csi.ControlPlane,
+			ControlPattern: FeatureInconsistency,
+			Symptom:        sym(ScopeJob, "Job/task failure", true),
+			FixPattern:     FixInteraction, FixLocation: FixGeneric, DownstreamFixed: true,
+		},
+		{
+			ID: "FLINK-5542", Title: "An API for local vcore information used in a global context misreports available cores",
+			Upstream: csi.Flink, Downstream: csi.YARN, Plane: csi.ControlPlane,
+			ControlPattern: APISemanticViolation, APIMisuse: WrongInvocationContext,
+			Symptom:    sym(ScopeJob, "Wrong results", false),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "FLINK-4155", Title: "Kafka partition discovery invoked in a client context without cluster access",
+			Upstream: csi.Flink, Downstream: csi.Kafka, Plane: csi.ControlPlane,
+			ControlPattern: APISemanticViolation, APIMisuse: WrongInvocationContext,
+			Symptom:    sym(ScopeJob, "Job/task startup", true),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+
+		// --- Data plane (Tables 4-6, §2.3, §6.1) -----------------------
+		{
+			ID: "SPARK-27239", Title: "Spark asserts nonnegative file sizes; HDFS reports -1 for compressed data (Figure 2)",
+			Upstream: csi.Spark, Downstream: csi.HDFS, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionFile, DataProperty: PropCustom, DataPattern: UndefinedValues,
+			Symptom:    sym(ScopeJob, "Job/task failure", true),
+			FixPattern: FixChecking, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "FLINK-17189", Title: "Flink stores PROCTIME as Hive TIMESTAMP but cannot translate it back",
+			Upstream: csi.Flink, Downstream: csi.Hive, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionTable, DataProperty: PropSchemaValue, DataPattern: TypeConfusion,
+			Symptom:    sym(ScopeJob, "Job/task failure", true),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "SPARK-18910", Title: "Spark SQL did not support UDFs stored as jar files in HDFS",
+			Upstream: csi.Spark, Downstream: csi.HDFS, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionFile, DataProperty: PropAPISemantics, DataPattern: UnsupportedOperations,
+			Symptom:    sym(ScopeJob, "Job/task failure", true),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamSpecific,
+		},
+		{
+			ID: "SPARK-21686", Title: "Spark failed to read column names in ORC files written by Hive (positional _colN convention)",
+			Upstream: csi.Spark, Downstream: csi.Hive, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionTable, DataProperty: PropSchemaStructure, DataPattern: UnspokenConvention,
+			Serialization: true,
+			Symptom:       sym(ScopeJob, "Job/task failure", true),
+			FixPattern:    FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "SPARK-19361", Title: "Spark assumes Kafka offsets always increment by 1, which compaction and markers violate",
+			Upstream: csi.Spark, Downstream: csi.Kafka, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionStream, DataProperty: PropAPISemantics, DataPattern: WrongAPIAssumptions,
+			Symptom:    sym(ScopePartial, "Job/task crash/hang", true),
+			FixPattern: FixChecking, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "YARN-2790", Title: "YARN's HDFS delegation-token renewal races expiration; renewal moved next to consumption",
+			Upstream: csi.YARN, Downstream: csi.HDFS, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionFile, DataProperty: PropAPISemantics, DataPattern: WrongAPIAssumptions,
+			Symptom:    sym(ScopeJob, "Job/task failure", true),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamSpecific,
+		},
+		{
+			ID: "SPARK-10122", Title: "PySpark's core streaming module lost a data attribute during compaction, affecting any downstream",
+			Upstream: csi.Spark, Downstream: csi.Kafka, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionStream, DataProperty: PropSchemaStructure, DataPattern: TypeConfusion,
+			Symptom:    sym(ScopeJob, "Data loss", false),
+			FixPattern: FixInteraction, FixLocation: FixGeneric,
+		},
+		{
+			ID: "SPARK-21150", Title: "A code change lost case sensitivity when exchanging Hive table schemas",
+			Upstream: csi.Spark, Downstream: csi.Hive, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionTable, DataProperty: PropSchemaValue, DataPattern: UnspokenConvention,
+			Symptom:    sym(ScopeJob, "Job/task failure", true),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "FLINK-13758", Title: "Flink must handle files on local and remote storage differently (custom locality property)",
+			Upstream: csi.Flink, Downstream: csi.HDFS, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionFile, DataProperty: PropCustom, DataPattern: WrongAPIAssumptions,
+			Symptom:    sym(ScopeJob, "Job/task failure", true),
+			FixPattern: FixChecking, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "FLINK-3081", Title: "Exceptions thrown by Kafka interaction were uncaught; a try-catch was added around the CSI operations",
+			Upstream: csi.Flink, Downstream: csi.Kafka, Plane: csi.DataPlane,
+			DataAbstraction: AbstractionStream, DataProperty: PropSchemaValue, DataPattern: TypeConfusion,
+			Symptom:    sym(ScopePartial, "Job/task crash/hang", true),
+			FixPattern: FixErrorHandling, FixLocation: FixUpstreamConnector,
+		},
+
+		// --- Management plane (Table 7, §2.3, §6.2) --------------------
+		{
+			ID: "FLINK-19141", Title: "Flink and YARN use inconsistent resource-allocation configurations across schedulers (Figure 3)",
+			Upstream: csi.Flink, Downstream: csi.YARN, Plane: csi.ManagementPlane,
+			MgmtKind: MgmtConfig, ConfigPattern: ConfigInconsistentContext, ConfigCategory: ConfigParameter,
+			Symptom:    sym(ScopeJob, "Job/task startup", true),
+			FixPattern: FixChecking, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "SPARK-10181", Title: "Spark's Hive client ignored Kerberos configuration (keytab and principal)",
+			Upstream: csi.Spark, Downstream: csi.Hive, Plane: csi.ManagementPlane,
+			MgmtKind: MgmtConfig, ConfigPattern: ConfigIgnorance, ConfigCategory: ConfigParameter,
+			Symptom:    sym(ScopeJob, "Job/task startup", true),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "SPARK-16901", Title: "Spark incorrectly overwrote Hive's configuration when merging with the Hadoop configuration",
+			Upstream: csi.Spark, Downstream: csi.Hive, Plane: csi.ManagementPlane,
+			MgmtKind: MgmtConfig, ConfigPattern: ConfigUnexpectedOverride, ConfigCategory: ConfigParameter,
+			Symptom:    sym(ScopeJob, "Job/task failure", true),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "SPARK-15046", Title: "Spark's ApplicationMaster on YARN treats an interval configuration as numeric (86400079ms allowed)",
+			Upstream: csi.Spark, Downstream: csi.YARN, Plane: csi.ManagementPlane,
+			MgmtKind: MgmtConfig, ConfigPattern: ConfigMishandledValues, ConfigCategory: ConfigParameter,
+			Symptom:    sym(ScopeCluster, "Startup failure", true),
+			FixPattern: FixChecking, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "HIVE-11250", Title: "Hive ignores all updates to the Spark configuration via RemoteHiveSparkClient (update flag bug)",
+			Upstream: csi.Hive, Downstream: csi.Spark, Plane: csi.ManagementPlane,
+			MgmtKind: MgmtConfig, ConfigPattern: ConfigIgnorance, ConfigCategory: ConfigComponent,
+			Symptom:    sym(ScopePartial, "Unexpected behavior", false),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamConnector,
+		},
+		{
+			ID: "SPARK-10851", Title: "Spark's R runner exits silently instead of propagating the failure exception to YARN",
+			Upstream: csi.Spark, Downstream: csi.YARN, Plane: csi.ManagementPlane,
+			MgmtKind:   MgmtMonitoring,
+			Symptom:    sym(ScopePartial, "Reduced observability", false),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamSpecific,
+		},
+		{
+			ID: "SPARK-3627", Title: "Spark reports success for failed YARN jobs",
+			Upstream: csi.Spark, Downstream: csi.YARN, Plane: csi.ManagementPlane,
+			MgmtKind:   MgmtMonitoring,
+			Symptom:    sym(ScopePartial, "Reduced observability", false),
+			FixPattern: FixInteraction, FixLocation: FixUpstreamSpecific,
+		},
+		{
+			ID: "FLINK-887", Title: "Flink's JobManager is killed by YARN's pmem monitor without JVM memory adjustment",
+			Upstream: csi.Flink, Downstream: csi.YARN, Plane: csi.ManagementPlane,
+			MgmtKind:   MgmtMonitoring,
+			Symptom:    sym(ScopeCluster, "Runtime crash/hang", true),
+			FixPattern: FixChecking, FixLocation: FixUpstreamConnector,
+		},
+	}
+}

@@ -1,0 +1,420 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/csi"
+)
+
+func built(t *testing.T) []Failure {
+	t.Helper()
+	fs, err := BuildFailures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestTotalAndDeterminism(t *testing.T) {
+	a := built(t)
+	b := built(t)
+	if len(a) != TotalFailures {
+		t.Fatalf("total = %d", len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Plane != b[i].Plane || a[i].FixPattern != b[i].FixPattern {
+			t.Fatalf("build not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	seen := map[csi.IssueID]bool{}
+	for _, f := range built(t) {
+		if seen[f.ID] {
+			t.Errorf("duplicate id %s", f.ID)
+		}
+		seen[f.ID] = true
+	}
+}
+
+func TestTable1PairCounts(t *testing.T) {
+	counts := map[csi.Interaction]int{}
+	for _, f := range built(t) {
+		counts[f.Interaction()]++
+	}
+	for _, p := range PairTargets() {
+		got := counts[csi.Interaction{Upstream: p.Upstream, Downstream: p.Downstream}]
+		if got != p.Count {
+			t.Errorf("pair %s->%s = %d, want %d", p.Upstream, p.Downstream, got, p.Count)
+		}
+	}
+	if len(counts) != len(PairTargets()) {
+		t.Errorf("unexpected pairs present: %v", counts)
+	}
+}
+
+func TestTable2PlaneCounts(t *testing.T) {
+	counts := map[csi.Plane]int{}
+	for _, f := range built(t) {
+		counts[f.Plane]++
+	}
+	for plane, want := range PlaneTargets {
+		if counts[plane] != want {
+			t.Errorf("plane %v = %d, want %d", plane, counts[plane], want)
+		}
+	}
+}
+
+func TestTable3SymptomCounts(t *testing.T) {
+	type key struct {
+		scope SymptomScope
+		name  string
+	}
+	counts := map[key]int{}
+	crashing := 0
+	for _, f := range built(t) {
+		counts[key{f.Symptom.Scope, f.Symptom.Name}]++
+		if f.Symptom.Crashing {
+			crashing++
+		}
+	}
+	for _, row := range SymptomTargets() {
+		if got := counts[key{row.Scope, row.Name}]; got != row.Count {
+			t.Errorf("symptom %v/%q = %d, want %d", row.Scope, row.Name, got, row.Count)
+		}
+	}
+	if crashing != CrashingTarget {
+		t.Errorf("crashing = %d, want %d", crashing, CrashingTarget)
+	}
+}
+
+func TestTable5JointCounts(t *testing.T) {
+	counts := map[dataJointKey]int{}
+	for _, f := range built(t) {
+		if f.Plane == csi.DataPlane {
+			counts[dataJointKey{f.DataAbstraction, f.DataProperty}]++
+		}
+	}
+	want := DataJointTargets()
+	for cell, n := range want {
+		if counts[cell] != n {
+			t.Errorf("cell %v = %d, want %d", cell, counts[cell], n)
+		}
+	}
+	for cell, n := range counts {
+		if want[cell] != n {
+			t.Errorf("unexpected cell %v = %d", cell, n)
+		}
+	}
+}
+
+func TestTable6PatternCounts(t *testing.T) {
+	counts := map[DataPattern]int{}
+	serialization := 0
+	for _, f := range built(t) {
+		if f.Plane != csi.DataPlane {
+			continue
+		}
+		counts[f.DataPattern]++
+		if f.Serialization {
+			serialization++
+		}
+	}
+	for p, want := range DataPatternTargets {
+		if counts[p] != want {
+			t.Errorf("pattern %v = %d, want %d", p, counts[p], want)
+		}
+	}
+	if serialization != SerializationTarget {
+		t.Errorf("serialization = %d, want %d", serialization, SerializationTarget)
+	}
+}
+
+func TestTable7ConfigCounts(t *testing.T) {
+	patterns := map[ConfigPattern]int{}
+	categories := map[ConfigCategory]int{}
+	monitoring := 0
+	for _, f := range built(t) {
+		if f.Plane != csi.ManagementPlane {
+			continue
+		}
+		if f.MgmtKind == MgmtMonitoring {
+			monitoring++
+			continue
+		}
+		patterns[f.ConfigPattern]++
+		categories[f.ConfigCategory]++
+	}
+	for p, want := range ConfigPatternTargets {
+		if patterns[p] != want {
+			t.Errorf("config pattern %v = %d, want %d", p, patterns[p], want)
+		}
+	}
+	for c, want := range ConfigCategoryTargets {
+		if categories[c] != want {
+			t.Errorf("config category %v = %d, want %d", c, categories[c], want)
+		}
+	}
+	if monitoring != MonitoringTarget {
+		t.Errorf("monitoring = %d, want %d", monitoring, MonitoringTarget)
+	}
+}
+
+func TestTable8ControlCounts(t *testing.T) {
+	patterns := map[ControlPattern]int{}
+	misuses := map[APIMisuse]int{}
+	for _, f := range built(t) {
+		if f.Plane != csi.ControlPlane {
+			continue
+		}
+		patterns[f.ControlPattern]++
+		if f.ControlPattern == APISemanticViolation {
+			misuses[f.APIMisuse]++
+		}
+	}
+	for p, want := range ControlPatternTargets {
+		if patterns[p] != want {
+			t.Errorf("control pattern %v = %d, want %d", p, patterns[p], want)
+		}
+	}
+	for m, want := range APIMisuseTargets {
+		if misuses[m] != want {
+			t.Errorf("misuse %v = %d, want %d", m, misuses[m], want)
+		}
+	}
+}
+
+func TestTable9FixCounts(t *testing.T) {
+	patterns := map[FixPattern]int{}
+	locations := map[FixLocation]int{}
+	downstreamFixed := 0
+	for _, f := range built(t) {
+		patterns[f.FixPattern]++
+		locations[f.FixLocation]++
+		if f.DownstreamFixed {
+			downstreamFixed++
+		}
+	}
+	for p, want := range FixPatternTargets {
+		if patterns[p] != want {
+			t.Errorf("fix pattern %v = %d, want %d", p, patterns[p], want)
+		}
+	}
+	for l, want := range FixLocationTargets {
+		if locations[l] != want {
+			t.Errorf("fix location %v = %d, want %d", l, locations[l], want)
+		}
+	}
+	if downstreamFixed != 1 {
+		t.Errorf("downstream-fixed = %d, want exactly 1 (YARN-9724)", downstreamFixed)
+	}
+}
+
+func TestUnfixedPairedWithOthers(t *testing.T) {
+	for _, f := range built(t) {
+		if (f.FixPattern == FixOthers) != (f.FixLocation == FixNone) {
+			t.Errorf("%s: FixOthers/FixNone not paired: %v / %v", f.ID, f.FixPattern, f.FixLocation)
+		}
+	}
+}
+
+func TestPlaneSpecificFieldsConsistent(t *testing.T) {
+	for _, f := range built(t) {
+		switch f.Plane {
+		case csi.DataPlane:
+			if f.DataProperty == PropNone || f.DataAbstraction == AbstractionNone || f.DataPattern == DataPatternNone {
+				t.Errorf("%s: data-plane record missing attributes", f.ID)
+			}
+			if f.MgmtKind != MgmtNone || f.ControlPattern != ControlPatternNone {
+				t.Errorf("%s: data-plane record has foreign attributes", f.ID)
+			}
+		case csi.ManagementPlane:
+			if f.MgmtKind == MgmtNone {
+				t.Errorf("%s: management record missing kind", f.ID)
+			}
+			if f.MgmtKind == MgmtConfig && (f.ConfigPattern == ConfigPatternNone || f.ConfigCategory == ConfigCategoryNone) {
+				t.Errorf("%s: config record missing attributes", f.ID)
+			}
+			if f.DataPattern != DataPatternNone || f.ControlPattern != ControlPatternNone {
+				t.Errorf("%s: management record has foreign attributes", f.ID)
+			}
+		case csi.ControlPlane:
+			if f.ControlPattern == ControlPatternNone {
+				t.Errorf("%s: control record missing pattern", f.ID)
+			}
+			if f.ControlPattern == APISemanticViolation && f.APIMisuse == APIMisuseNone {
+				t.Errorf("%s: API misuse record missing misuse kind", f.ID)
+			}
+		}
+	}
+}
+
+func TestAnchorsAreRealAndSynthFlagged(t *testing.T) {
+	real, synth := 0, 0
+	for _, f := range built(t) {
+		if f.Synthesized {
+			synth++
+			if !f.ID.Synthesized() {
+				t.Errorf("synthesized record with real-looking id %s", f.ID)
+			}
+		} else {
+			real++
+			if f.ID.Synthesized() {
+				t.Errorf("anchor with CSI- id %s", f.ID)
+			}
+			if f.Title == "" {
+				t.Errorf("anchor %s has no title", f.ID)
+			}
+		}
+	}
+	if real != len(anchors()) {
+		t.Errorf("real = %d, want %d", real, len(anchors()))
+	}
+	if real+synth != TotalFailures {
+		t.Errorf("real+synth = %d", real+synth)
+	}
+}
+
+func TestMemoizedFailuresMatchesBuild(t *testing.T) {
+	memo := Failures()
+	fresh := built(t)
+	if len(memo) != len(fresh) {
+		t.Fatalf("memo = %d, fresh = %d", len(memo), len(fresh))
+	}
+	for i := range memo {
+		if memo[i].ID != fresh[i].ID {
+			t.Fatalf("memo mismatch at %d", i)
+		}
+	}
+}
+
+func TestIncidentsStatistics(t *testing.T) {
+	incidents := CSIIncidents()
+	if len(incidents) != 11 {
+		t.Fatalf("incidents = %d", len(incidents))
+	}
+	if TotalIncidents() != 55 {
+		t.Errorf("sample = %d", TotalIncidents())
+	}
+	byProvider := map[Provider]int{}
+	cascaded, codeFix := 0, 0
+	for _, inc := range incidents {
+		byProvider[inc.Provider]++
+		if inc.CascadedExternally {
+			cascaded++
+		}
+		if inc.MentionedCodeFix {
+			codeFix++
+		}
+		if inc.DurationMinutes < 10 || inc.DurationMinutes > 1140 {
+			t.Errorf("duration %d outside the published range", inc.DurationMinutes)
+		}
+		if byProvider[inc.Provider] > IncidentSampleSizes[inc.Provider] {
+			t.Errorf("provider %s has more CSI incidents than sampled", inc.Provider)
+		}
+	}
+	if cascaded != 8 {
+		t.Errorf("cascaded = %d, want 8", cascaded)
+	}
+	if codeFix != 4 {
+		t.Errorf("code fixes = %d, want 4", codeFix)
+	}
+}
+
+func TestCBSSliceCounts(t *testing.T) {
+	slice := CBSSlice()
+	if len(slice) != 105 {
+		t.Fatalf("cbs = %d", len(slice))
+	}
+	labels := map[CBSLabel]int{}
+	control := 0
+	for _, issue := range slice {
+		labels[issue.Label]++
+		if issue.Label == CBSCSIFailure && issue.Plane == csi.ControlPlane {
+			control++
+		}
+	}
+	if labels[CBSCSIFailure] != 39 || labels[CBSDependencyFailure] != 15 || labels[CBSNotCrossSystem] != 51 {
+		t.Errorf("labels = %v", labels)
+	}
+	if control != 27 {
+		t.Errorf("control CSI = %d, want 27 (69%%)", control)
+	}
+}
+
+func TestSamplingSummary(t *testing.T) {
+	s := Sampling()
+	if s.CandidateIssues != 1428 || s.SampledIssues != 360 || s.CSIFailures != 120 ||
+		s.DependencyFailures != 26 || s.NotCrossSystem != 214 {
+		t.Errorf("sampling = %+v", s)
+	}
+}
+
+// TestAnchorFacts pins the attributes of the cases the paper discusses
+// in detail, so the encoded dataset cannot drift from the text.
+func TestAnchorFacts(t *testing.T) {
+	byID := map[csi.IssueID]Failure{}
+	for _, f := range built(t) {
+		byID[f.ID] = f
+	}
+	check := func(id csi.IssueID, verify func(Failure) bool, desc string) {
+		t.Helper()
+		f, ok := byID[id]
+		if !ok {
+			t.Errorf("%s missing from dataset", id)
+			return
+		}
+		if !verify(f) {
+			t.Errorf("%s: %s (got %+v)", id, desc, f)
+		}
+	}
+	check("FLINK-12342", func(f Failure) bool {
+		return f.Plane == csi.ControlPlane && f.ControlPattern == APISemanticViolation &&
+			f.APIMisuse == ImplicitSemanticViolation && f.FixPattern == FixInteraction &&
+			f.FixLocation == FixUpstreamConnector
+	}, "Figure 1: implicit API semantic violation fixed in the connector")
+	check("SPARK-27239", func(f Failure) bool {
+		return f.Plane == csi.DataPlane && f.DataAbstraction == AbstractionFile &&
+			f.DataProperty == PropCustom && f.DataPattern == UndefinedValues &&
+			f.FixPattern == FixChecking
+	}, "Figure 2: undefined -1 file size, fixed by checking")
+	check("FLINK-19141", func(f Failure) bool {
+		return f.Plane == csi.ManagementPlane && f.ConfigPattern == ConfigInconsistentContext &&
+			f.ConfigCategory == ConfigParameter
+	}, "Figure 3: inconsistent-context parameter configuration")
+	check("SPARK-21686", func(f Failure) bool {
+		return f.Serialization && f.DataPattern == UnspokenConvention &&
+			f.DataAbstraction == AbstractionTable
+	}, "ORC column-name convention, serialization-rooted")
+	check("SPARK-19361", func(f Failure) bool {
+		return f.DataAbstraction == AbstractionStream && f.DataPattern == WrongAPIAssumptions
+	}, "Kafka offset assumption")
+	check("YARN-9724", func(f Failure) bool {
+		return f.DownstreamFixed && f.ControlPattern == FeatureInconsistency
+	}, "the single downstream-side fix")
+	check("HIVE-11250", func(f Failure) bool {
+		return f.ConfigCategory == ConfigComponent && f.ConfigPattern == ConfigIgnorance
+	}, "component-level configuration ignorance")
+	check("FLINK-887", func(f Failure) bool {
+		return f.MgmtKind == MgmtMonitoring && f.Symptom.Crashing
+	}, "monitoring-triggered kill, crashing symptom")
+}
+
+func TestFailureStringRendering(t *testing.T) {
+	fs := built(t)
+	if !strings.Contains(fs[0].String(), string(fs[0].ID)) {
+		t.Errorf("render = %q", fs[0].String())
+	}
+	sawSynth := false
+	for i := range fs {
+		if fs[i].Synthesized && strings.Contains(fs[i].String(), "[synthesized]") {
+			sawSynth = true
+			break
+		}
+	}
+	if !sawSynth {
+		t.Error("synthesized marker missing")
+	}
+}

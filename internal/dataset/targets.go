@@ -1,0 +1,161 @@
+package dataset
+
+import "repro/internal/csi"
+
+// PairTarget is a Table 1 row: an upstream→downstream pair, the plane
+// of its dominant interaction, and its failure count.
+type PairTarget struct {
+	Upstream    csi.System
+	Downstream  csi.System
+	Interaction csi.Plane
+	Label       string
+	Count       int
+}
+
+// PairTargets reproduces Table 1 exactly, in the paper's row order.
+func PairTargets() []PairTarget {
+	return []PairTarget{
+		{csi.Spark, csi.Hive, csi.DataPlane, "Data (Hive tables)", 26},
+		{csi.Spark, csi.YARN, csi.ControlPlane, "Control (resource management)", 19},
+		{csi.Spark, csi.HDFS, csi.DataPlane, "Data (files)", 8},
+		{csi.Spark, csi.Kafka, csi.DataPlane, "Data (streaming)", 5},
+		{csi.Flink, csi.Kafka, csi.DataPlane, "Data (streaming)", 12},
+		{csi.Flink, csi.YARN, csi.ControlPlane, "Control (resource management)", 14},
+		{csi.Flink, csi.Hive, csi.DataPlane, "Data (Hive tables)", 8},
+		{csi.Flink, csi.HDFS, csi.DataPlane, "Data (file systems)", 3},
+		{csi.Hive, csi.Spark, csi.ControlPlane, "Control (compute)", 6},
+		{csi.Hive, csi.HBase, csi.DataPlane, "Data (key-value store)", 3},
+		{csi.Hive, csi.HDFS, csi.DataPlane, "Data (files)", 6},
+		{csi.Hive, csi.Kafka, csi.DataPlane, "Data (streaming)", 1},
+		{csi.Hive, csi.YARN, csi.ControlPlane, "Control (resource management)", 2},
+		{csi.HBase, csi.HDFS, csi.DataPlane, "Data (file systems)", 4},
+		{csi.YARN, csi.HDFS, csi.DataPlane, "Data (file systems)", 3},
+	}
+}
+
+// PlaneTargets is Table 2: failures per plane.
+var PlaneTargets = map[csi.Plane]int{
+	csi.ControlPlane:    20,
+	csi.DataPlane:       61,
+	csi.ManagementPlane: 39,
+}
+
+// symptomTarget is a Table 3 row with its count.
+type symptomTarget struct {
+	Symptom
+	Count int
+}
+
+// SymptomTargets reproduces Table 3. One normalization is applied: the
+// rows of the partial group as printed sum the table to 121, so the
+// partial-group "Performance issue" row is 1 here (recorded in
+// EXPERIMENTS.md); crashing rows sum to 89/120 as Finding 3 states.
+func SymptomTargets() []symptomTarget {
+	return []symptomTarget{
+		{Symptom{ScopeCluster, "Runtime crash/hang", true}, 8},
+		{Symptom{ScopeCluster, "Startup failure", true}, 4},
+		{Symptom{ScopeCluster, "Performance issue", false}, 3},
+		{Symptom{ScopeCluster, "Data loss", false}, 2},
+		{Symptom{ScopeCluster, "Unexpected behavior", false}, 3},
+		{Symptom{ScopeJob, "Job/task failure", true}, 47},
+		{Symptom{ScopeJob, "Job/task startup", true}, 6},
+		{Symptom{ScopeJob, "Wrong results", false}, 3},
+		{Symptom{ScopeJob, "Data loss", false}, 2},
+		{Symptom{ScopeJob, "Performance issue", false}, 3},
+		{Symptom{ScopeJob, "Usability issue", false}, 1},
+		{Symptom{ScopePartial, "Job/task crash/hang", true}, 24},
+		{Symptom{ScopePartial, "Reduced observability", false}, 8},
+		{Symptom{ScopePartial, "Unexpected behavior", false}, 5},
+		{Symptom{ScopePartial, "Performance issue", false}, 1},
+	}
+}
+
+// CrashingTarget is Finding 3: 89/120 failures crash.
+const CrashingTarget = 89
+
+// dataJointKey addresses a Table 5 cell.
+type dataJointKey struct {
+	Abstraction DataAbstraction
+	Property    DataProperty
+}
+
+// DataJointTargets reproduces Table 5, the abstraction × property joint
+// distribution of the 61 data-plane failures.
+func DataJointTargets() map[dataJointKey]int {
+	return map[dataJointKey]int{
+		{AbstractionTable, PropAddress}:          1,
+		{AbstractionTable, PropSchemaStructure}:  13,
+		{AbstractionTable, PropSchemaValue}:      16,
+		{AbstractionTable, PropAPISemantics}:     5,
+		{AbstractionFile, PropAddress}:           8,
+		{AbstractionFile, PropCustom}:            8,
+		{AbstractionFile, PropAPISemantics}:      2,
+		{AbstractionStream, PropAddress}:         1,
+		{AbstractionStream, PropSchemaStructure}: 1,
+		{AbstractionStream, PropSchemaValue}:     2,
+		{AbstractionStream, PropAPISemantics}:    4,
+	}
+}
+
+// DataPatternTargets reproduces Table 6.
+var DataPatternTargets = map[DataPattern]int{
+	TypeConfusion:         12,
+	UnsupportedOperations: 15,
+	UnspokenConvention:    9,
+	UndefinedValues:       7,
+	WrongAPIAssumptions:   18,
+}
+
+// SerializationTarget is Finding 6: 15/61 data-plane failures are
+// root-caused by serialization.
+const SerializationTarget = 15
+
+// ConfigPatternTargets reproduces Table 7 (30 configuration failures).
+var ConfigPatternTargets = map[ConfigPattern]int{
+	ConfigIgnorance:           12,
+	ConfigUnexpectedOverride:  6,
+	ConfigInconsistentContext: 10,
+	ConfigMishandledValues:    2,
+}
+
+// ConfigCategoryTargets is Finding 8: 21 parameter / 9 component.
+var ConfigCategoryTargets = map[ConfigCategory]int{
+	ConfigParameter: 21,
+	ConfigComponent: 9,
+}
+
+// MonitoringTarget is the monitoring share of the management plane.
+const MonitoringTarget = 9
+
+// ControlPatternTargets reproduces Table 8.
+var ControlPatternTargets = map[ControlPattern]int{
+	APISemanticViolation:       13,
+	StateResourceInconsistency: 5,
+	FeatureInconsistency:       2,
+}
+
+// APIMisuseTargets is Finding 11's split of the 13 API misuses.
+var APIMisuseTargets = map[APIMisuse]int{
+	ImplicitSemanticViolation: 8,
+	WrongInvocationContext:    5,
+}
+
+// FixPatternTargets reproduces Table 9.
+var FixPatternTargets = map[FixPattern]int{
+	FixChecking:      38,
+	FixErrorHandling: 8,
+	FixInteraction:   69,
+	FixOthers:        5,
+}
+
+// FixLocationTargets is Finding 13: 79 upstream-specific (68 in
+// connector modules), 36 generic, 5 without merged fixes.
+var FixLocationTargets = map[FixLocation]int{
+	FixUpstreamConnector: 68,
+	FixUpstreamSpecific:  11,
+	FixGeneric:           36,
+	FixNone:              5,
+}
+
+// TotalFailures is the dataset size.
+const TotalFailures = 120

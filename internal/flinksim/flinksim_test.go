@@ -1,0 +1,210 @@
+package flinksim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kafkasim"
+	"repro/internal/vclock"
+	"repro/internal/yarnsim"
+)
+
+// storm runs the FLINK-12342 scenario under a mode: C containers, a
+// 500 ms heartbeat, and a per-container allocation latency long enough
+// that a batch cannot complete within one heartbeat.
+func storm(t *testing.T, mode ClientMode, heartbeatMs int64) *YarnResourceClient {
+	t.Helper()
+	sim := vclock.New()
+	rm := yarnsim.New(sim, yarnsim.Options{AllocLatencyMs: 150, ClusterMemoryMB: 1 << 30})
+	client := NewYarnResourceClient(sim, rm, ResourceClientOptions{
+		Mode:        mode,
+		Target:      20,
+		HeartbeatMs: heartbeatMs,
+		Ask:         yarnsim.Resource{MemoryMB: 1024, Vcores: 1},
+	})
+	client.Start()
+	sim.Run(60000) // one virtual minute
+	client.Stop()
+	return client
+}
+
+func TestBuggyModeFloodsResourceManager(t *testing.T) {
+	// Figure 1: the synchronous assumption turns 50 needed containers
+	// into thousands of requests.
+	c := storm(t, ModeBuggy, 500)
+	if c.Allocated() != 20 {
+		t.Errorf("allocated = %d", c.Allocated())
+	}
+	if c.TotalRequested() < 500 {
+		t.Errorf("total requested = %d, want a storm (>= 500)", c.TotalRequested())
+	}
+}
+
+func TestWorkaround1LargerIntervalAvoidsStorm(t *testing.T) {
+	// Figure 5 workaround #1: with the interval raised beyond the batch
+	// allocation time (20 × 150 ms = 3 s), no re-requests happen.
+	c := storm(t, ModeWorkaround1, 5000)
+	if c.Allocated() != 20 {
+		t.Errorf("allocated = %d", c.Allocated())
+	}
+	if c.TotalRequested() != 20 {
+		t.Errorf("total requested = %d, want exactly 20", c.TotalRequested())
+	}
+}
+
+func TestWorkaround1StillVulnerableWhenIntervalTooSmall(t *testing.T) {
+	// The workaround reduces likelihood, it does not remove the root
+	// cause: a mistuned interval still storms.
+	c := storm(t, ModeWorkaround1, 500)
+	if c.TotalRequested() < 500 {
+		t.Errorf("total requested = %d, workaround #1 with small interval should still storm", c.TotalRequested())
+	}
+}
+
+func TestWorkaround2TopsUpDeficitOnly(t *testing.T) {
+	c := storm(t, ModeWorkaround2, 500)
+	if c.Allocated() != 20 {
+		t.Errorf("allocated = %d", c.Allocated())
+	}
+	if c.TotalRequested() != 20 {
+		t.Errorf("total requested = %d, want exactly 20", c.TotalRequested())
+	}
+}
+
+func TestAsyncResolutionRequestsOnce(t *testing.T) {
+	c := storm(t, ModeAsync, 500)
+	if c.Allocated() != 20 {
+		t.Errorf("allocated = %d", c.Allocated())
+	}
+	if c.TotalRequested() != 20 {
+		t.Errorf("total requested = %d", c.TotalRequested())
+	}
+	if c.DoneAt() != 20*150 {
+		t.Errorf("done at %d ms, want 3000", c.DoneAt())
+	}
+}
+
+func TestStormOutcomesOrdering(t *testing.T) {
+	buggy := storm(t, ModeBuggy, 500)
+	fixed := storm(t, ModeAsync, 500)
+	if buggy.TotalRequested() <= 10*fixed.TotalRequested() {
+		t.Errorf("storm factor = %d vs %d, want >10x", buggy.TotalRequested(), fixed.TotalRequested())
+	}
+}
+
+func TestJVMSizingVersusPmemMonitor(t *testing.T) {
+	// FLINK-887: without headroom the JobManager exceeds its container
+	// and is killed; the cutoff sizing survives.
+	sim := vclock.New()
+	rm := yarnsim.New(sim, yarnsim.Options{AllocLatencyMs: 10})
+	var jm *yarnsim.Container
+	rm.RequestContainers(1, yarnsim.Resource{MemoryMB: 2048, Vcores: 1}, func(c *yarnsim.Container) { jm = c }, nil)
+	sim.Run(100)
+	var killed *yarnsim.Container
+	rm.StartPmemMonitor(1000, func(c *yarnsim.Container) { killed = c })
+
+	rm.SetContainerPmem(jm.ID, ProcessPmemMB(2048, SizingNoHeadroom))
+	sim.Run(3000)
+	if killed == nil {
+		t.Fatal("no-headroom JobManager should be pmem-killed")
+	}
+
+	killed = nil
+	var jm2 *yarnsim.Container
+	rm.RequestContainers(1, yarnsim.Resource{MemoryMB: 2048, Vcores: 1}, func(c *yarnsim.Container) { jm2 = c }, nil)
+	sim.Run(3200)
+	rm.SetContainerPmem(jm2.ID, ProcessPmemMB(2048, SizingWithCutoff))
+	sim.Run(10000)
+	if killed != nil {
+		t.Errorf("cutoff-sized JobManager killed: %s", killed.KillReason)
+	}
+}
+
+func TestKafkaSourceContiguityAssumption(t *testing.T) {
+	broker := kafkasim.NewBroker()
+	if err := broker.CreateTopic("events", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := broker.Produce("events", 0, "k"+string(rune('a'+i%2)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compaction removes superseded keys, leaving gaps.
+	removed, err := broker.Compact("events", 0)
+	if err != nil || removed == 0 {
+		t.Fatalf("compact = %d, %v", removed, err)
+	}
+
+	buggy := NewKafkaSource(broker, KafkaSourceOptions{Topic: "events", AssumeContiguousOffsets: true})
+	_, err = buggy.Poll(10)
+	var oge *OffsetGapError
+	if !errors.As(err, &oge) {
+		t.Fatalf("err = %v, want OffsetGapError", err)
+	}
+
+	fixed := NewKafkaSource(broker, KafkaSourceOptions{Topic: "events"})
+	recs, err := fixed.Poll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 { // the latest record of each key survives compaction
+		t.Errorf("records = %d (%v)", len(recs), recs)
+	}
+}
+
+func TestKafkaSourceTransactionMarkers(t *testing.T) {
+	broker := kafkasim.NewBroker()
+	if err := broker.CreateTopic("tx", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Produce("tx", 0, "k", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.AppendTxnMarker("tx", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Produce("tx", 0, "k2", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	buggy := NewKafkaSource(broker, KafkaSourceOptions{Topic: "tx", AssumeContiguousOffsets: true})
+	if _, err := buggy.Poll(10); err == nil {
+		t.Error("marker gap should trip the contiguity assumption")
+	}
+	fixed := NewKafkaSource(broker, KafkaSourceOptions{Topic: "tx"})
+	recs, err := fixed.Poll(10)
+	if err != nil || len(recs) != 2 {
+		t.Errorf("records = %v, %v", recs, err)
+	}
+}
+
+func TestHiveCatalogProctimeMapping(t *testing.T) {
+	// FLINK-17189: PROCTIME is stored as TIMESTAMP but the reverse
+	// mapping is missing until fixed.
+	if ToHiveType(TypeProctime) != "TIMESTAMP" {
+		t.Error("PROCTIME should store as TIMESTAMP")
+	}
+	if _, err := FromHiveType("TIMESTAMP", TypeProctime, false); err == nil {
+		t.Error("unfixed mapping should fail")
+	}
+	got, err := FromHiveType("TIMESTAMP", TypeProctime, true)
+	if err != nil || got != TypeProctime {
+		t.Errorf("fixed mapping = %v, %v", got, err)
+	}
+	got, err = FromHiveType("TIMESTAMP", TypeTimestamp, false)
+	if err != nil || got != TypeTimestamp {
+		t.Errorf("plain timestamp = %v, %v", got, err)
+	}
+}
+
+func TestClientModeStrings(t *testing.T) {
+	modes := []ClientMode{ModeBuggy, ModeWorkaround1, ModeWorkaround2, ModeAsync}
+	seen := map[string]bool{}
+	for _, m := range modes {
+		s := m.String()
+		if seen[s] {
+			t.Errorf("duplicate mode name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,174 @@
+// Package hbasesim simulates an HBase-like region server over the
+// simulated HDFS namespace, reproducing the control-plane CSI failure
+// of HBASE-537: at startup HBase wrongly assumed the HDFS NameNode was
+// ready to serve writes while it was still in safe mode, crashing on
+// its first WAL append. The fixed behaviour polls the NameNode state
+// before serving.
+package hbasesim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/hdfssim"
+	"repro/internal/vclock"
+)
+
+// StartupMode selects the HBASE-537 behaviour.
+type StartupMode int
+
+// The two behaviours.
+const (
+	// StartupAssumeReady is the defect: HBase starts serving without
+	// checking NameNode readiness.
+	StartupAssumeReady StartupMode = iota
+	// StartupWaitForNameNode is the fix: startup blocks (on the virtual
+	// clock) until the NameNode leaves safe mode.
+	StartupWaitForNameNode
+)
+
+// ErrNotServing reports an operation against a region server that has
+// not (successfully) started.
+var ErrNotServing = fmt.Errorf("hbase: region server is not serving")
+
+// RegionServer is a single-node HBase over HDFS.
+type RegionServer struct {
+	mu      sync.Mutex
+	fs      *hdfssim.FileSystem
+	sim     *vclock.Sim
+	serving bool
+	crashed error
+
+	memstore map[string]map[string]string // table -> key -> value
+	walSeq   int
+}
+
+// New creates a stopped region server.
+func New(sim *vclock.Sim, fs *hdfssim.FileSystem) *RegionServer {
+	return &RegionServer{fs: fs, sim: sim, memstore: make(map[string]map[string]string)}
+}
+
+// Start brings the server up under the given mode. Under
+// StartupAssumeReady with a safe-mode NameNode, the first WAL write
+// crashes the server — the HBASE-537 failure. Under
+// StartupWaitForNameNode, start is retried on the virtual clock every
+// pollMs until the NameNode is writable.
+func (rs *RegionServer) Start(mode StartupMode, pollMs int64) {
+	switch mode {
+	case StartupWaitForNameNode:
+		var attempt func()
+		attempt = func() {
+			if rs.fs.InSafeMode() {
+				rs.sim.After(pollMs, attempt)
+				return
+			}
+			rs.finishStart()
+		}
+		attempt()
+	default:
+		// Assume readiness: serve immediately, regardless of NameNode
+		// state.
+		rs.finishStart()
+	}
+}
+
+func (rs *RegionServer) finishStart() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.serving = true
+	rs.crashed = nil
+}
+
+// Serving reports whether the server accepts requests.
+func (rs *RegionServer) Serving() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.serving && rs.crashed == nil
+}
+
+// CrashReason returns the error that took the server down, if any.
+func (rs *RegionServer) CrashReason() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.crashed
+}
+
+// Put writes a cell, appending to the write-ahead log on HDFS first.
+// A WAL append failure (e.g. NameNode safe mode) crashes the server.
+func (rs *RegionServer) Put(table, key, value string) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.serving || rs.crashed != nil {
+		return ErrNotServing
+	}
+	record, err := json.Marshal(map[string]string{"table": table, "key": key, "value": value})
+	if err != nil {
+		return err
+	}
+	walPath := fmt.Sprintf("/hbase/WALs/wal-%06d", rs.walSeq)
+	if err := rs.fs.Write(walPath, record, hdfssim.WriteOptions{}); err != nil {
+		rs.crashed = fmt.Errorf("hbase: aborting region server: WAL append failed: %w", err)
+		rs.serving = false
+		return rs.crashed
+	}
+	rs.walSeq++
+	if rs.memstore[table] == nil {
+		rs.memstore[table] = make(map[string]string)
+	}
+	rs.memstore[table][key] = value
+	return nil
+}
+
+// Get reads a cell.
+func (rs *RegionServer) Get(table, key string) (string, bool, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.serving || rs.crashed != nil {
+		return "", false, ErrNotServing
+	}
+	v, ok := rs.memstore[table][key]
+	return v, ok, nil
+}
+
+// Scan returns the sorted keys of a table.
+func (rs *RegionServer) Scan(table string) ([]string, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.serving || rs.crashed != nil {
+		return nil, ErrNotServing
+	}
+	keys := make([]string, 0, len(rs.memstore[table]))
+	for k := range rs.memstore[table] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Flush persists the memstore to HFiles on HDFS.
+func (rs *RegionServer) Flush() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.serving || rs.crashed != nil {
+		return ErrNotServing
+	}
+	for table, cells := range rs.memstore {
+		data, err := json.Marshal(cells)
+		if err != nil {
+			return err
+		}
+		path := fmt.Sprintf("/hbase/data/%s/hfile-%06d", table, rs.walSeq)
+		if err := rs.fs.Write(path, data, hdfssim.WriteOptions{Overwrite: true}); err != nil {
+			if errors.Is(err, hdfssim.ErrSafeMode) {
+				rs.crashed = fmt.Errorf("hbase: aborting region server: flush failed: %w", err)
+				rs.serving = false
+				return rs.crashed
+			}
+			return err
+		}
+	}
+	return nil
+}

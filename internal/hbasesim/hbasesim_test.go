@@ -1,0 +1,121 @@
+package hbasesim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/hdfssim"
+	"repro/internal/vclock"
+)
+
+func TestPutGetScan(t *testing.T) {
+	sim := vclock.New()
+	fs := hdfssim.New(sim)
+	rs := New(sim, fs)
+	rs.Start(StartupAssumeReady, 0)
+	if err := rs.Put("users", "row1", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Put("users", "row2", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := rs.Get("users", "row1")
+	if err != nil || !ok || v != "alice" {
+		t.Fatalf("get = %q, %v, %v", v, ok, err)
+	}
+	keys, err := rs.Scan("users")
+	if err != nil || len(keys) != 2 || keys[0] != "row1" {
+		t.Fatalf("scan = %v, %v", keys, err)
+	}
+	// WAL entries landed on HDFS.
+	if len(fs.List("/hbase/WALs")) != 2 {
+		t.Errorf("WALs = %v", fs.List("/hbase/WALs"))
+	}
+}
+
+func TestAssumeReadyCrashesInSafeMode(t *testing.T) {
+	// HBASE-537: HBase assumed NameNode readiness; the first WAL append
+	// against a safe-mode NameNode crashes the server.
+	sim := vclock.New()
+	fs := hdfssim.New(sim)
+	fs.SetSafeMode(true)
+	rs := New(sim, fs)
+	rs.Start(StartupAssumeReady, 0)
+	if !rs.Serving() {
+		t.Fatal("assume-ready server should claim to serve")
+	}
+	err := rs.Put("t", "k", "v")
+	if err == nil || !errors.Is(err, hdfssim.ErrSafeMode) {
+		t.Fatalf("put = %v, want safe-mode WAL failure", err)
+	}
+	if rs.Serving() {
+		t.Error("server should have crashed")
+	}
+	if reason := rs.CrashReason(); reason == nil || !strings.Contains(reason.Error(), "WAL append failed") {
+		t.Errorf("crash reason = %v", reason)
+	}
+	// Crashed server rejects everything.
+	if _, _, err := rs.Get("t", "k"); !errors.Is(err, ErrNotServing) {
+		t.Errorf("get after crash = %v", err)
+	}
+}
+
+func TestWaitForNameNodeSurvivesSafeMode(t *testing.T) {
+	// The fix: startup polls until the NameNode leaves safe mode.
+	sim := vclock.New()
+	fs := hdfssim.New(sim)
+	fs.SetSafeMode(true)
+	rs := New(sim, fs)
+	rs.Start(StartupWaitForNameNode, 1000)
+	sim.Run(5000)
+	if rs.Serving() {
+		t.Fatal("server should still be waiting")
+	}
+	fs.SetSafeMode(false)
+	sim.Run(10000)
+	if !rs.Serving() {
+		t.Fatal("server should have started after safe mode exit")
+	}
+	if err := rs.Put("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushWritesHFiles(t *testing.T) {
+	sim := vclock.New()
+	fs := hdfssim.New(sim)
+	rs := New(sim, fs)
+	rs.Start(StartupAssumeReady, 0)
+	if err := rs.Put("t", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.List("/hbase/data/t")) != 1 {
+		t.Errorf("hfiles = %v", fs.List("/hbase/data/t"))
+	}
+}
+
+func TestOperationsBeforeStart(t *testing.T) {
+	rs := New(vclock.New(), hdfssim.New(nil))
+	if err := rs.Put("t", "k", "v"); !errors.Is(err, ErrNotServing) {
+		t.Errorf("put = %v", err)
+	}
+	if _, err := rs.Scan("t"); !errors.Is(err, ErrNotServing) {
+		t.Errorf("scan = %v", err)
+	}
+	if err := rs.Flush(); !errors.Is(err, ErrNotServing) {
+		t.Errorf("flush = %v", err)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	rs := New(vclock.New(), hdfssim.New(nil))
+	rs.Start(StartupAssumeReady, 0)
+	_, ok, err := rs.Get("t", "missing")
+	if err != nil || ok {
+		t.Errorf("get = %v, %v", ok, err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package integration_test builds the repository's command binaries and
+// runs them end to end, asserting the headline outputs: the study tool
+// reproduces every finding, the cross-test reports all 15 discrepancies,
+// and the replay tool exhibits each failure and fix.
+package integration_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "csi-bin")
+	if err != nil {
+		os.Exit(1)
+	}
+	binDir = dir
+	build := exec.Command("go", "build", "-o", binDir, "./cmd/...")
+	build.Dir = repoRoot()
+	if out, err := build.CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(binDir)
+	os.Exit(code)
+}
+
+func repoRoot() string {
+	wd, _ := os.Getwd()
+	return filepath.Dir(filepath.Dir(wd)) // internal/integration -> repo root
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, bin), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCsistudyEndToEnd(t *testing.T) {
+	out := run(t, "csistudy")
+	for _, want := range []string{
+		"Table 1", "Table 9",
+		"All quantitative findings reproduce the published statistics.",
+		"CSI-failure-induced incidents: 11 (20%), median duration 106 minutes",
+		"Control-plane share of CBS CSI failures: 69%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csistudy output missing %q", want)
+		}
+	}
+}
+
+func TestCsistudyDatasetListing(t *testing.T) {
+	out := run(t, "csistudy", "-dataset")
+	for _, want := range []string{"FLINK-12342", "SPARK-27239", "[synthesized]", "120 records"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dataset listing missing %q", want)
+		}
+	}
+}
+
+func TestCrosstestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run")
+	}
+	out := run(t, "crosstest", "-parallel", "8")
+	if !strings.Contains(out, "Distinct discrepancies: 15") {
+		t.Error("crosstest did not report 15 distinct discrepancies")
+	}
+	for _, want := range []string{
+		"SPARK-39075", "SPARK-40630",
+		"cannot-read-what-was-written         2/2",
+		"relying-on-custom-configurations     8/8",
+		"Module locality",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("crosstest output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Unmapped signatures") {
+		t.Error("crosstest reported unmapped signatures on the default corpus")
+	}
+}
+
+func TestCrosstestDeploymentConfig(t *testing.T) {
+	out := run(t, "crosstest",
+		"-inputs", "ts_noon",
+		"-conf", "spark.sql.session.timeZone=UTC")
+	if !strings.Contains(out, "Distinct discrepancies: 0") {
+		t.Errorf("UTC deployment should resolve the timestamp discrepancy:\n%s", out)
+	}
+}
+
+func TestCrosstestExtensionModes(t *testing.T) {
+	out := run(t, "crosstest", "-inputs", "char_short", "-wide", "-partitions")
+	if !strings.Contains(out, "Partitioned-table mode") ||
+		!strings.Contains(out, "partition-path-escaping") {
+		t.Errorf("partition mode missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Wide-table mode") {
+		t.Error("wide mode missing")
+	}
+}
+
+func TestCsireplayEndToEnd(t *testing.T) {
+	out := run(t, "csireplay")
+	for _, want := range []string{
+		"FLINK-12342", "buggy-sync-assumption", "resolution3-nmclient-async",
+		"SPARK-27239", "length (-1) cannot be negative",
+		"FLINK-19141", "could not allocate",
+		"FLINK-887", "beyond physical memory limits",
+		"YARN-2790", "delegation token expired",
+		"HBASE-537", "safe mode",
+		"SPARK-19361", "not contiguous",
+		"User-ID", "OUTAGE",
+		"Interaction redundancy", "served by sparksql",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csireplay output missing %q", want)
+		}
+	}
+}
+
+func TestCsireplayUnknownScenario(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "csireplay"), "nope")
+	if err := cmd.Run(); err == nil {
+		t.Error("unknown scenario should exit nonzero")
+	}
+}

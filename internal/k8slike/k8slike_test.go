@@ -1,0 +1,103 @@
+package k8slike
+
+import (
+	"testing"
+
+	"repro/internal/flinksim"
+	"repro/internal/replay"
+	"repro/internal/vclock"
+)
+
+func TestReconcilerConverges(t *testing.T) {
+	sim := vclock.New()
+	c := New(sim, Options{StartupLatencyMs: 100, ReconcileEveryMs: 50})
+	c.Apply("jobmanagers", ReplicaSpec{Replicas: 5, MemoryMB: 1024})
+	sim.Run(60000)
+	obj, err := c.Get("jobmanagers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Status.ReadyReplicas != 5 {
+		t.Errorf("ready = %d", obj.Status.ReadyReplicas)
+	}
+	if obj.Status.ObservedGeneration != obj.Meta.Generation {
+		t.Errorf("generation lag: %d vs %d", obj.Status.ObservedGeneration, obj.Meta.Generation)
+	}
+	c.Stop()
+}
+
+func TestApplyIsIdempotent(t *testing.T) {
+	sim := vclock.New()
+	c := New(sim, Options{})
+	spec := ReplicaSpec{Replicas: 3, MemoryMB: 512}
+	c.Apply("x", spec)
+	gen := c.objects["x"].Meta.Generation
+	for i := 0; i < 10; i++ {
+		c.Apply("x", spec)
+	}
+	if c.objects["x"].Meta.Generation != gen {
+		t.Error("identical re-applies must not bump the generation")
+	}
+	c.Apply("x", ReplicaSpec{Replicas: 4, MemoryMB: 512})
+	if c.objects["x"].Meta.Generation != gen+1 {
+		t.Error("spec change should bump the generation")
+	}
+}
+
+func TestScaleDown(t *testing.T) {
+	sim := vclock.New()
+	c := New(sim, Options{StartupLatencyMs: 10, ReconcileEveryMs: 10})
+	c.Apply("x", ReplicaSpec{Replicas: 4, MemoryMB: 100})
+	sim.Run(5000)
+	c.Apply("x", ReplicaSpec{Replicas: 1, MemoryMB: 100})
+	sim.Run(10000)
+	obj, _ := c.Get("x")
+	if obj.Status.ReadyReplicas != 1 {
+		t.Errorf("ready after scale-down = %d", obj.Status.ReadyReplicas)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c := New(vclock.New(), Options{})
+	if _, err := c.Get("nope"); err == nil {
+		t.Error("missing object should error")
+	}
+}
+
+// TestDeclarativeAPIDesignsOutTheStorm is the §6.3 ablation: the very
+// client behaviour that floods YARN (FLINK-12342) is harmless against
+// a declarative API, because re-stating a desire is idempotent.
+func TestDeclarativeAPIDesignsOutTheStorm(t *testing.T) {
+	// Imperative baseline: the buggy client against the YARN model.
+	imperative := replay.ContainerStorm(replay.StormOptions{Mode: flinksim.ModeBuggy})
+	if imperative.AmplificationX < 10 {
+		t.Fatalf("baseline should storm: %.1fx", imperative.AmplificationX)
+	}
+
+	// The same impatience against the declarative API.
+	sim := vclock.New()
+	c := New(sim, Options{StartupLatencyMs: 150, ReconcileEveryMs: 100})
+	client := NewImpatientClient(c, "job", ReplicaSpec{Replicas: 20, MemoryMB: 1024})
+	client.Start(sim, 500)
+	sim.Run(60000)
+	c.Stop()
+
+	if started := client.ReplicasStarted(c); started != 20 {
+		t.Fatalf("replicas started = %d", started)
+	}
+	// The client re-applied its spec on every heartbeat, but the
+	// cluster started exactly the desired replicas: amplification of
+	// actual work is 1.0 regardless of how often the desire is
+	// restated.
+	if got := c.Stats().Started; got != 20 {
+		t.Errorf("replica starts = %d, want exactly 20", got)
+	}
+	if client.DoneAt() < 0 {
+		t.Error("client never satisfied")
+	}
+	// The imperative design did real extra work for every re-request;
+	// the declarative one absorbed the same client behaviour.
+	if imperative.TotalRequested <= 20 {
+		t.Error("imperative baseline lost its storm")
+	}
+}

@@ -1,0 +1,44 @@
+package kafkasim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkProduce measures the append path.
+func BenchmarkProduce(b *testing.B) {
+	broker := NewBroker()
+	if err := broker.CreateTopic("t", 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := broker.Produce("t", 0, fmt.Sprintf("k%d", i%100), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFetchAfterCompaction measures gap-tolerant fetching over a
+// compacted log.
+func BenchmarkFetchAfterCompaction(b *testing.B) {
+	broker := NewBroker()
+	if err := broker.CreateTopic("t", 1); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := broker.Produce("t", 0, fmt.Sprintf("k%d", i%100), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := broker.Compact("t", 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := broker.Fetch("t", 0, 0, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

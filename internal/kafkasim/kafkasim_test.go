@@ -1,0 +1,225 @@
+package kafkasim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestProduceFetchRoundTrip(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	off0, err := b.Produce("t", 0, "k1", []byte("v1"))
+	if err != nil || off0 != 0 {
+		t.Fatalf("off = %d, %v", off0, err)
+	}
+	off1, _ := b.Produce("t", 0, "k2", []byte("v2"))
+	if off1 != 1 {
+		t.Fatalf("off = %d", off1)
+	}
+	recs, next, err := b.Fetch("t", 0, 0, 10)
+	if err != nil || len(recs) != 2 || next != 2 {
+		t.Fatalf("fetch = %v, %d, %v", recs, next, err)
+	}
+	if string(recs[1].Value) != "v2" {
+		t.Errorf("value = %q", recs[1].Value)
+	}
+	// Partitions are independent.
+	recs, _, _ = b.Fetch("t", 1, 0, 10)
+	if len(recs) != 0 {
+		t.Errorf("partition 1 = %v", recs)
+	}
+}
+
+func TestTopicErrors(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 0); err == nil {
+		t.Error("zero partitions should fail")
+	}
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("t", 1); err == nil {
+		t.Error("duplicate topic should fail")
+	}
+	if _, err := b.Produce("nope", 0, "", nil); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := b.Fetch("t", 5, 0, 1); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := b.Fetch("t", 0, -1, 1); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := b.Fetch("t", 0, 100, 1); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCompactionLeavesGaps(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		key := "a"
+		if i%2 == 1 {
+			key = "b"
+		}
+		if _, err := b.Produce("t", 0, key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := b.Compact("t", 0)
+	if err != nil || removed != 4 {
+		t.Fatalf("removed = %d, %v", removed, err)
+	}
+	recs, next, err := b.Fetch("t", 0, 0, 10)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("recs = %v, %v", recs, err)
+	}
+	// The survivors keep their original (non-contiguous) offsets.
+	if recs[0].Offset != 4 || recs[1].Offset != 5 {
+		t.Errorf("offsets = %d, %d", recs[0].Offset, recs[1].Offset)
+	}
+	if next != 6 {
+		t.Errorf("next = %d", next)
+	}
+	// Offsets after compaction keep increasing monotonically.
+	off, _ := b.Produce("t", 0, "c", nil)
+	if off != 6 {
+		t.Errorf("new offset = %d", off)
+	}
+}
+
+func TestHasRecordAt(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", 0, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AppendTxnMarker("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := b.HasRecordAt("t", 0, 0)
+	if !ok {
+		t.Error("offset 0 should be live")
+	}
+	ok, _ = b.HasRecordAt("t", 0, 1)
+	if ok {
+		t.Error("marker offset should not be live")
+	}
+	ok, _ = b.HasRecordAt("t", 0, 9)
+	if ok {
+		t.Error("unassigned offset should not be live")
+	}
+}
+
+func TestFetchFromGapResumesAtNextLive(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", 0, "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AppendTxnMarker("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", 0, "b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	recs, next, err := b.Fetch("t", 0, 1, 10)
+	if err != nil || len(recs) != 1 || recs[0].Offset != 2 || next != 3 {
+		t.Errorf("recs = %v, next = %d, %v", recs, next, err)
+	}
+}
+
+func TestEndOffset(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	end, _ := b.EndOffset("t", 0)
+	if end != 0 {
+		t.Errorf("end = %d", end)
+	}
+	if _, err := b.Produce("t", 0, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	end, _ = b.EndOffset("t", 0)
+	if end != 1 {
+		t.Errorf("end = %d", end)
+	}
+}
+
+func TestClientPartitionDiscoveryContext(t *testing.T) {
+	// FLINK-4155: discovery from a disconnected client context fails.
+	b := NewBroker()
+	if err := b.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	disconnected := NewClient(b, false)
+	if _, err := disconnected.DiscoverPartitions("t"); !errors.Is(err, ErrNotConnected) {
+		t.Errorf("err = %v", err)
+	}
+	connected := NewClient(b, true)
+	n, err := connected.DiscoverPartitions("t")
+	if err != nil || n != 3 {
+		t.Errorf("n = %d, %v", n, err)
+	}
+	if _, err := connected.DiscoverPartitions("missing"); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOffsetsMonotonicProperty(t *testing.T) {
+	// Offsets strictly increase regardless of the interleaving of
+	// produces, markers, and compactions.
+	f := func(ops []uint8) bool {
+		b := NewBroker()
+		if err := b.CreateTopic("t", 1); err != nil {
+			return false
+		}
+		last := int64(-1)
+		for i, op := range ops {
+			var off int64
+			var err error
+			switch op % 3 {
+			case 0:
+				off, err = b.Produce("t", 0, string(rune('a'+i%3)), []byte{op})
+			case 1:
+				off, err = b.AppendTxnMarker("t", 0)
+			default:
+				if _, err := b.Compact("t", 0); err != nil {
+					return false
+				}
+				continue
+			}
+			if err != nil || off <= last {
+				return false
+			}
+			last = off
+		}
+		// All surviving records still come back in offset order.
+		recs, _, err := b.Fetch("t", 0, 0, len(ops)+1)
+		if err != nil {
+			return false
+		}
+		prev := int64(-1)
+		for _, r := range recs {
+			if r.Offset <= prev {
+				return false
+			}
+			prev = r.Offset
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

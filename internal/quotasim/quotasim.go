@@ -1,0 +1,253 @@
+// Package quotasim reproduces the paper's opening incident (§1): the
+// Google User-ID outage caused by a cross-system interaction between a
+// monitoring system and a quota system.
+//
+// The root cause was a discrepancy in the monitoring data: a
+// deregistered monitor reported the value 0 for the service's resource
+// usage, and the quota system interpreted zero as the service's
+// expected load, automatically shrinking its quota until the service
+// was starved — a management-plane CSI failure in which each system
+// behaved correctly per its own specification.
+//
+// The simulator runs the monitoring pipeline, the quota manager, and
+// the consuming service on the shared virtual clock, with both the
+// buggy interpretation and two mitigations (the grace period that
+// paused enforcement during the real incident, and the fixed reporting
+// protocol that distinguishes "no data" from "zero usage").
+package quotasim
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// UsageReport is one monitoring datapoint for a service.
+type UsageReport struct {
+	AtMs int64
+	// Usage is the reported resource usage. With the discrepancy
+	// present, a deregistered monitor reports 0 here rather than
+	// withholding the report.
+	Usage float64
+	// Registered distinguishes live monitors from deregistered ones.
+	// The buggy quota consumer ignores this field — it is custom
+	// metadata the downstream never agreed to interpret.
+	Registered bool
+}
+
+// Monitor reports a service's usage on a period. Deregistering a buggy
+// monitor keeps it reporting zeros; a fixed monitor stops reporting.
+type Monitor struct {
+	sim    *vclock.Sim
+	report func(UsageReport)
+
+	usage         float64
+	registered    bool
+	fixedProtocol bool
+	ticker        *vclock.Timer
+}
+
+// NewMonitor creates a monitor that delivers reports to sink every
+// periodMs. With fixedProtocol, a deregistered monitor stops reporting
+// instead of reporting zero.
+func NewMonitor(sim *vclock.Sim, periodMs int64, fixedProtocol bool, sink func(UsageReport)) *Monitor {
+	m := &Monitor{sim: sim, report: sink, registered: true, fixedProtocol: fixedProtocol}
+	m.ticker = sim.Every(periodMs, func() { m.tick() })
+	return m
+}
+
+func (m *Monitor) tick() {
+	if !m.registered {
+		if m.fixedProtocol {
+			return // no data beats wrong data
+		}
+		// The discrepancy: a deregistered monitor reports usage 0.
+		m.report(UsageReport{AtMs: m.sim.Now(), Usage: 0, Registered: false})
+		return
+	}
+	m.report(UsageReport{AtMs: m.sim.Now(), Usage: m.usage, Registered: true})
+}
+
+// SetUsage records the service's true current usage.
+func (m *Monitor) SetUsage(u float64) { m.usage = u }
+
+// Deregister removes the monitor from the registration database — the
+// maintenance action that triggered the incident.
+func (m *Monitor) Deregister() { m.registered = false }
+
+// Stop halts the reporting loop.
+func (m *Monitor) Stop() { m.ticker.Stop() }
+
+// QuotaPolicy selects the quota manager's interpretation of the
+// monitoring feed.
+type QuotaPolicy int
+
+// The three behaviours.
+const (
+	// PolicyTrustReports is the incident behaviour: every report is the
+	// service's expected load; sustained zeros shrink the quota.
+	PolicyTrustReports QuotaPolicy = iota
+	// PolicyGracePeriod keeps enforcement but refuses to shrink below
+	// the floor faster than the grace window — the emergency mitigation
+	// used during the real incident.
+	PolicyGracePeriod
+	// PolicyIgnoreUnregistered is the fix on the consumer side: reports
+	// from deregistered monitors are discarded.
+	PolicyIgnoreUnregistered
+)
+
+// QuotaManager derives per-service quota from monitoring data.
+type QuotaManager struct {
+	sim    *vclock.Sim
+	policy QuotaPolicy
+
+	// Quota is the current allowance; it decays toward the observed
+	// usage (plus headroom) on every evaluation.
+	Quota float64
+	// MinQuota is the floor below which PolicyGracePeriod refuses to
+	// shrink within the grace window.
+	MinQuota float64
+	// Headroom is the multiplier over observed usage.
+	Headroom float64
+
+	graceUntilMs int64
+	evaluations  int
+	shrinks      int
+}
+
+// NewQuotaManager creates a manager with an initial quota.
+func NewQuotaManager(sim *vclock.Sim, policy QuotaPolicy, initial float64) *QuotaManager {
+	return &QuotaManager{sim: sim, policy: policy, Quota: initial, MinQuota: initial / 10, Headroom: 1.5}
+}
+
+// Observe consumes one monitoring report and re-evaluates the quota.
+func (q *QuotaManager) Observe(r UsageReport) {
+	q.evaluations++
+	if q.policy == PolicyIgnoreUnregistered && !r.Registered {
+		return
+	}
+	target := r.Usage * q.Headroom
+	if target >= q.Quota {
+		q.Quota = target
+		return
+	}
+	// Shrink gradually toward the target (automated right-sizing).
+	next := q.Quota * 0.5
+	if next < target {
+		next = target
+	}
+	if q.policy == PolicyGracePeriod {
+		if q.sim.Now() < q.graceUntilMs && next < q.MinQuota {
+			return
+		}
+		if next < q.MinQuota {
+			// Entering dangerous territory arms a grace window instead
+			// of enforcing immediately.
+			q.graceUntilMs = q.sim.Now() + 60000
+			return
+		}
+	}
+	if next < q.Quota {
+		q.shrinks++
+	}
+	q.Quota = next
+}
+
+// Stats reports evaluation counters.
+func (q *QuotaManager) Stats() (evaluations, shrinks int) {
+	return q.evaluations, q.shrinks
+}
+
+// Service is the quota consumer (the User-ID service of the incident).
+type Service struct {
+	Load float64 // true offered load
+}
+
+// Available reports whether the service can serve its load under the
+// current quota.
+func (s *Service) Available(q *QuotaManager) bool {
+	return q.Quota >= s.Load
+}
+
+// IncidentResult summarizes a scenario run.
+type IncidentResult struct {
+	Policy        QuotaPolicy
+	FixedProtocol bool
+	OutageStartMs int64 // -1 when no outage occurred
+	OutageMinutes int64
+	FinalQuota    float64
+	// LowestQuota is the minimum quota observed during the run — the
+	// depth of the collapse the policy allowed.
+	LowestQuota float64
+	Load        float64
+}
+
+// String renders the result.
+func (r IncidentResult) String() string {
+	mode := fmt.Sprintf("policy=%d fixedProtocol=%v", r.Policy, r.FixedProtocol)
+	if r.OutageStartMs < 0 {
+		return fmt.Sprintf("%-34s no outage (quota %.0f >= load %.0f)", mode, r.FinalQuota, r.Load)
+	}
+	return fmt.Sprintf("%-34s OUTAGE at %dms lasting %d min (quota collapsed to %.0f, load %.0f)",
+		mode, r.OutageStartMs, r.OutageMinutes, r.LowestQuota, r.Load)
+}
+
+// RunIncident replays the scenario: a healthy service whose monitor is
+// deregistered at deregisterAtMs, observed until horizonMs. The
+// operator re-registers the monitor 30 virtual minutes after the
+// outage begins (as in the real incident's recovery).
+func RunIncident(policy QuotaPolicy, fixedProtocol bool) IncidentResult {
+	const (
+		load          = 1000.0
+		periodMs      = 10000
+		deregisterAt  = 60000
+		horizonMs     = 4 * 3600 * 1000
+		recoveryDelay = 30 * 60 * 1000
+	)
+	sim := vclock.New()
+	qm := NewQuotaManager(sim, policy, 2000)
+	svc := &Service{Load: load}
+	lowest := qm.Quota
+
+	var monitor *Monitor
+	outageStart := int64(-1)
+	outageEnd := int64(-1)
+	monitor = NewMonitor(sim, periodMs, fixedProtocol, func(r UsageReport) {
+		qm.Observe(r)
+		if qm.Quota < lowest {
+			lowest = qm.Quota
+		}
+		if !svc.Available(qm) && outageStart < 0 {
+			outageStart = sim.Now()
+			// Operators notice and re-register the monitor after the
+			// recovery delay.
+			sim.After(recoveryDelay, func() {
+				monitor.registered = true
+			})
+		}
+		if svc.Available(qm) && outageStart >= 0 && outageEnd < 0 && sim.Now() > outageStart {
+			outageEnd = sim.Now()
+		}
+	})
+	monitor.SetUsage(load)
+	sim.After(deregisterAt, monitor.Deregister)
+	sim.Run(horizonMs)
+	monitor.Stop()
+
+	res := IncidentResult{
+		Policy:        policy,
+		FixedProtocol: fixedProtocol,
+		OutageStartMs: outageStart,
+		FinalQuota:    qm.Quota,
+		LowestQuota:   lowest,
+		Load:          load,
+	}
+	if outageStart >= 0 {
+		end := outageEnd
+		if end < 0 {
+			end = horizonMs
+		}
+		res.OutageMinutes = (end - outageStart) / 60000
+	}
+	return res
+}

@@ -1,0 +1,110 @@
+package quotasim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestBuggyInterpretationCausesOutage(t *testing.T) {
+	// §1: the deregistered monitor reports 0; the quota system treats
+	// it as expected load and shrinks the quota below the true load.
+	r := RunIncident(PolicyTrustReports, false)
+	if r.OutageStartMs < 0 {
+		t.Fatal("expected an outage")
+	}
+	if r.OutageMinutes < 10 {
+		t.Errorf("outage lasted %d minutes, expected a sustained outage", r.OutageMinutes)
+	}
+	if !strings.Contains(r.String(), "OUTAGE") {
+		t.Errorf("render = %q", r.String())
+	}
+}
+
+func TestFixedReportingProtocolPreventsOutage(t *testing.T) {
+	// The reporting fix: a deregistered monitor reports nothing, so the
+	// quota never sees phantom zeros.
+	r := RunIncident(PolicyTrustReports, true)
+	if r.OutageStartMs >= 0 {
+		t.Errorf("outage with fixed protocol: %s", r)
+	}
+	if r.FinalQuota < r.Load {
+		t.Errorf("final quota %.0f below load", r.FinalQuota)
+	}
+}
+
+func TestConsumerSideFixPreventsOutage(t *testing.T) {
+	// The consumer-side fix: ignore reports from deregistered monitors.
+	r := RunIncident(PolicyIgnoreUnregistered, false)
+	if r.OutageStartMs >= 0 {
+		t.Errorf("outage with consumer-side fix: %s", r)
+	}
+}
+
+func TestGracePeriodBoundsTheDamage(t *testing.T) {
+	// The mitigation used during the real incident: enforcement pauses
+	// at the floor, so the quota cannot collapse to (near) zero —
+	// though the service can still be degraded if floor < load.
+	buggy := RunIncident(PolicyTrustReports, false)
+	graced := RunIncident(PolicyGracePeriod, false)
+	if graced.LowestQuota <= buggy.LowestQuota {
+		t.Errorf("grace period should hold a higher quota floor: %.2f vs %.2f",
+			graced.LowestQuota, buggy.LowestQuota)
+	}
+	if graced.LowestQuota < graced.Load/10 {
+		t.Errorf("graced floor %.2f collapsed below the MinQuota floor", graced.LowestQuota)
+	}
+}
+
+func TestQuotaTracksRealUsageWhenHealthy(t *testing.T) {
+	sim := vclock.New()
+	qm := NewQuotaManager(sim, PolicyTrustReports, 2000)
+	m := NewMonitor(sim, 1000, false, qm.Observe)
+	m.SetUsage(1000)
+	sim.Run(30000)
+	if qm.Quota < 1000 {
+		t.Errorf("quota %.0f dropped below healthy usage", qm.Quota)
+	}
+	// Usage grows: quota follows with headroom.
+	m.SetUsage(2000)
+	sim.Run(60000)
+	if qm.Quota < 2000*1.4 {
+		t.Errorf("quota %.0f did not grow with usage", qm.Quota)
+	}
+	m.Stop()
+	evals, _ := qm.Stats()
+	if evals == 0 {
+		t.Error("no evaluations recorded")
+	}
+}
+
+func TestMonitorStopsReporting(t *testing.T) {
+	sim := vclock.New()
+	reports := 0
+	m := NewMonitor(sim, 1000, false, func(UsageReport) { reports++ })
+	sim.Run(5000)
+	m.Stop()
+	before := reports
+	sim.After(10000, func() {}) // advance past more would-be ticks
+	sim.Run(20000)
+	if reports != before {
+		t.Errorf("reports after Stop: %d -> %d", before, reports)
+	}
+}
+
+func TestDeregisteredBuggyMonitorReportsZero(t *testing.T) {
+	sim := vclock.New()
+	var last UsageReport
+	m := NewMonitor(sim, 1000, false, func(r UsageReport) { last = r })
+	m.SetUsage(500)
+	sim.Run(1000)
+	if last.Usage != 500 || !last.Registered {
+		t.Fatalf("healthy report = %+v", last)
+	}
+	m.Deregister()
+	sim.Run(2000)
+	if last.Usage != 0 || last.Registered {
+		t.Errorf("deregistered report = %+v, want the zero-usage discrepancy", last)
+	}
+}

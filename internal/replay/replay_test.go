@@ -1,0 +1,112 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flinksim"
+	"repro/internal/hbasesim"
+	"repro/internal/yarnsim"
+)
+
+func TestFixLadderShape(t *testing.T) {
+	// Figure 5: the buggy mode storms; both workarounds and the
+	// resolution hold requests at the target.
+	results := FixLadder()
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	buggy, w1, w2, async := results[0], results[1], results[2], results[3]
+	if buggy.AmplificationX < 10 {
+		t.Errorf("buggy amplification = %.1fx, want a storm", buggy.AmplificationX)
+	}
+	for _, r := range []StormResult{w1, w2, async} {
+		if r.TotalRequested != r.Target {
+			t.Errorf("%v requested %d, want %d", r.Mode, r.TotalRequested, r.Target)
+		}
+		if r.Allocated != r.Target {
+			t.Errorf("%v allocated %d", r.Mode, r.Allocated)
+		}
+	}
+	if buggy.Allocated != buggy.Target {
+		t.Errorf("buggy allocated = %d (job should still eventually run)", buggy.Allocated)
+	}
+	if !strings.Contains(buggy.String(), "buggy") {
+		t.Errorf("render = %q", buggy.String())
+	}
+}
+
+func TestCompressedFileRead(t *testing.T) {
+	// Figure 2: the original check fails on compressed files.
+	if _, err := CompressedFileRead(true, false); err == nil || !strings.Contains(err.Error(), "cannot be negative") {
+		t.Errorf("buggy check on compressed file: err = %v", err)
+	}
+	// Figure 4: the fix accepts -1.
+	data, err := CompressedFileRead(true, true)
+	if err != nil || len(data) == 0 {
+		t.Errorf("fixed check: %v", err)
+	}
+	// Uncompressed files pass under both.
+	if _, err := CompressedFileRead(false, false); err != nil {
+		t.Errorf("uncompressed buggy check: %v", err)
+	}
+}
+
+func TestSchedulerMismatch(t *testing.T) {
+	tuned := map[string]string{yarnsim.KeyMinAllocMB: "128"}
+	// Figure 3: the capacity scheduler honours the tuned key.
+	if err := SchedulerMismatch("capacity", tuned); err != nil {
+		t.Errorf("capacity: %v", err)
+	}
+	// The fair scheduler ignores it and fails the allocation.
+	if err := SchedulerMismatch("fair", tuned); err == nil {
+		t.Error("fair scheduler should fail with capacity-scheduler keys")
+	}
+	// Tuning the fair scheduler's own key resolves it.
+	fairTuned := map[string]string{yarnsim.KeyIncAllocMB: "128"}
+	if err := SchedulerMismatch("fair", fairTuned); err != nil {
+		t.Errorf("fair with its own keys: %v", err)
+	}
+}
+
+func TestPmemKill(t *testing.T) {
+	killed, reason := PmemKill(flinksim.SizingNoHeadroom)
+	if !killed || !strings.Contains(reason, "beyond physical memory limits") {
+		t.Errorf("no-headroom: killed=%v reason=%q", killed, reason)
+	}
+	killed, _ = PmemKill(flinksim.SizingWithCutoff)
+	if killed {
+		t.Error("cutoff sizing should survive the monitor")
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	if err := TokenExpiry(true); err == nil {
+		t.Error("late renewal should hit an expired token")
+	}
+	if err := TokenExpiry(false); err != nil {
+		t.Errorf("adjacent renewal: %v", err)
+	}
+}
+
+func TestSafeModeStartup(t *testing.T) {
+	ok, err := SafeModeStartup(hbasesim.StartupAssumeReady, 3000)
+	if ok || err == nil {
+		t.Errorf("assume-ready should crash: ok=%v err=%v", ok, err)
+	}
+	ok, err = SafeModeStartup(hbasesim.StartupWaitForNameNode, 3000)
+	if !ok {
+		t.Errorf("wait-for-namenode should succeed: %v", err)
+	}
+}
+
+func TestOffsetGap(t *testing.T) {
+	n, err := OffsetGap(true)
+	if err == nil {
+		t.Errorf("contiguity assumption should fail (consumed %d)", n)
+	}
+	n, err = OffsetGap(false)
+	if err != nil || n != 3 {
+		t.Errorf("fixed consumer = %d records, %v (want the 3 compaction survivors)", n, err)
+	}
+}

@@ -1,0 +1,31 @@
+package serde
+
+import "testing"
+
+// FuzzDecode asserts decoder totality over arbitrary bytes for all
+// three formats: error or well-formed file, never a panic or runaway
+// allocation.
+func FuzzDecode(f *testing.F) {
+	valid, err := (Parquet{}).Encode(sampleSchema(), map[string]string{"k": "v"}, sampleRows())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("PAR1"))
+	f.Add([]byte("ORC1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, name := range Formats() {
+			format, _ := ByName(name)
+			file, err := format.Decode(data)
+			if err != nil {
+				continue
+			}
+			for _, row := range file.Rows {
+				if len(row) != len(file.Schema.Columns) {
+					t.Fatalf("%s: malformed decode accepted", name)
+				}
+			}
+		}
+	})
+}

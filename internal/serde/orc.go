@@ -1,0 +1,41 @@
+package serde
+
+import (
+	"fmt"
+
+	"repro/internal/sqlval"
+)
+
+// ORC is the ORC-like columnar format. Hive's ORC writer historically
+// records positional column names (_col0, _col1, …) instead of the real
+// names — the "unspoken convention" behind SPARK-21686 — controlled
+// here by PositionalNames. Writer metadata (such as Spark's
+// case-preserving schema) is persisted.
+type ORC struct {
+	// PositionalNames replaces column names with _colN on write, as
+	// Hive's writer does. Readers then depend on the metastore (not the
+	// file) to recover real names.
+	PositionalNames bool
+}
+
+const orcMagic = "ORC1"
+
+// Name implements Format.
+func (ORC) Name() string { return "orc" }
+
+// Encode implements Format.
+func (o ORC) Encode(schema Schema, meta map[string]string, rows []sqlval.Row) ([]byte, error) {
+	out := schema
+	if o.PositionalNames {
+		out = Schema{Columns: make([]Column, len(schema.Columns))}
+		for i, c := range schema.Columns {
+			out.Columns[i] = Column{Name: fmt.Sprintf("_col%d", i), Type: c.Type}
+		}
+	}
+	return encodeContainer(orcMagic, out, meta, rows)
+}
+
+// Decode implements Format.
+func (ORC) Decode(data []byte) (*File, error) {
+	return decodeContainer(orcMagic, data)
+}

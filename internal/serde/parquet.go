@@ -1,0 +1,41 @@
+package serde
+
+import "repro/internal/sqlval"
+
+// Parquet is the Parquet-like columnar format. It is the most faithful
+// of the three carriers: schema and values round-trip exactly, and
+// writer metadata is persisted. The cross-system hazards live in the
+// metadata conventions layered on top by the engines:
+//
+//   - MetaSparkSchema carries Spark's case-preserving schema; Hive
+//     ignores it and serves its lowercase metastore schema instead.
+//   - MetaWriterTimezone records the zone the writer adjusted INT96
+//     timestamps into; readers that ignore it (Hive) see shifted
+//     values (the HIVE-26528 model).
+type Parquet struct{}
+
+// Reserved metadata keys written by the engines.
+const (
+	// MetaSparkSchema carries Spark's case-preserving schema DDL.
+	MetaSparkSchema = "org.apache.spark.sql.parquet.row.metadata"
+	// MetaWriterTimezone records the writer's session time zone as a
+	// UTC offset in seconds.
+	MetaWriterTimezone = "writer.time.zone"
+	// MetaWriterEngine identifies the producing engine ("spark"/"hive").
+	MetaWriterEngine = "created.by"
+)
+
+const parquetMagic = "PAR1"
+
+// Name implements Format.
+func (Parquet) Name() string { return "parquet" }
+
+// Encode implements Format.
+func (Parquet) Encode(schema Schema, meta map[string]string, rows []sqlval.Row) ([]byte, error) {
+	return encodeContainer(parquetMagic, schema, meta, rows)
+}
+
+// Decode implements Format.
+func (Parquet) Decode(data []byte) (*File, error) {
+	return decodeContainer(parquetMagic, data)
+}

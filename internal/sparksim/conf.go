@@ -1,0 +1,148 @@
+// Package sparksim simulates the Spark engine of the §8 case study: a
+// session with SQL and DataFrame front ends over a Hive-connector that
+// shares Hive's metastore and warehouse.
+//
+// The engine reproduces Spark's cross-system-visible personality, each
+// behaviour keyed to the JIRA issue it models:
+//
+//   - SparkSQL inserts enforce ANSI store assignment (errors on
+//     overflow/invalid input) while the DataFrame writer coerces
+//     silently (SPARK-40439, SPARK-40624, SPARK-40629, SPARK-40630);
+//   - the DataFrame writer emits Spark's legacy binary decimal
+//     encoding that Hive cannot read (SPARK-39158);
+//   - the Avro deserializer on the DataFrame path requires the file
+//     schema to match the catalog schema exactly and throws
+//     IncompatibleSchemaException on Avro's INT-widened BYTE/SHORT
+//     (SPARK-39075);
+//   - SparkSQL reads fall back to the case-insensitive Hive schema
+//     when Spark's case-preserving schema is unavailable, logging
+//     "not case preserving" (HIVE-26533 / SPARK-40409);
+//   - CHAR values are stripped of trailing pad on read unless
+//     spark.sql.readSideCharPadding is set (SPARK-40616);
+//   - Parquet timestamps are written session-zone-adjusted with writer
+//     metadata that Hive ignores (the HIVE-26528 model), and dates use
+//     the proleptic Gregorian calendar while Hive uses the hybrid one.
+package sparksim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Configuration keys modeled by the simulator. SparkSQL alone has 350+
+// parameters; these are the ones the §8.2 discrepancies hinge on.
+const (
+	// ConfStoreAssignmentPolicy is "ansi" (errors on overflow) or
+	// "legacy" (silent wrap/NULL) for SparkSQL INSERT coercion.
+	ConfStoreAssignmentPolicy = "spark.sql.storeAssignmentPolicy"
+	// ConfAnsiEnabled governs string-parsing casts on the SparkSQL
+	// path: when true, invalid input (bad dates, IEEE spellings) errors.
+	ConfAnsiEnabled = "spark.sql.ansi.enabled"
+	// ConfCharVarcharAsString disables CHAR/VARCHAR length semantics,
+	// treating both as plain STRING.
+	ConfCharVarcharAsString = "spark.sql.legacy.charVarcharAsString"
+	// ConfReadSideCharPadding pads CHAR values to their declared length
+	// on read, matching Hive.
+	ConfReadSideCharPadding = "spark.sql.readSideCharPadding"
+	// ConfSessionTimeZone is the session zone used by the Parquet INT96
+	// timestamp writer.
+	ConfSessionTimeZone = "spark.sql.session.timeZone"
+	// ConfWriteLegacyDecimal makes the DataFrame writer emit the legacy
+	// unannotated binary decimal encoding.
+	ConfWriteLegacyDecimal = "spark.sql.hive.writeLegacyDecimal"
+	// ConfDatetimeRebaseLegacy makes Spark write and read day counts in
+	// the hybrid Julian/Gregorian calendar, matching Hive.
+	ConfDatetimeRebaseLegacy = "spark.sql.legacy.datetimeRebase"
+	// ConfCaseSensitiveInference is Spark's schema-inference mode for
+	// Hive tables; it only has an effect for ORC and Parquet.
+	ConfCaseSensitiveInference = "spark.sql.hive.caseSensitiveInferenceMode"
+	// ConfCaseSensitive controls column-name resolution case rules.
+	ConfCaseSensitive = "spark.sql.caseSensitive"
+)
+
+// sessionZones maps the named zones the simulator understands to fixed
+// UTC offsets in seconds. Real Spark consults the tz database; fixed
+// offsets are enough to exhibit the writer/reader asymmetry.
+var sessionZones = map[string]int64{
+	"UTC":                 0,
+	"America/Los_Angeles": -8 * 3600,
+	"America/New_York":    -5 * 3600,
+	"Europe/Rome":         1 * 3600,
+	"Asia/Shanghai":       8 * 3600,
+}
+
+// Conf is a session configuration: a string key/value map with typed
+// accessors and defaults.
+type Conf struct {
+	mu     sync.Mutex
+	values map[string]string
+}
+
+// NewConf returns a configuration holding the simulator defaults.
+func NewConf() *Conf {
+	return &Conf{values: map[string]string{
+		ConfStoreAssignmentPolicy:  "ansi",
+		ConfAnsiEnabled:            "true",
+		ConfCharVarcharAsString:    "false",
+		ConfReadSideCharPadding:    "false",
+		ConfSessionTimeZone:        "America/Los_Angeles",
+		ConfWriteLegacyDecimal:     "true",
+		ConfDatetimeRebaseLegacy:   "false",
+		ConfCaseSensitiveInference: "INFER_AND_SAVE",
+		ConfCaseSensitive:          "false",
+	}}
+}
+
+// Set stores a key. Unknown keys are accepted — Spark configurations
+// are stringly-typed and silently tolerated, which is itself a CSI
+// hazard the management-plane study documents.
+func (c *Conf) Set(key, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.values[key] = value
+}
+
+// Get returns the raw value ("" when unset).
+func (c *Conf) Get(key string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.values[key]
+}
+
+// Bool interprets a key as a boolean, defaulting to false on junk.
+func (c *Conf) Bool(key string) bool {
+	v, err := strconv.ParseBool(c.Get(key))
+	return err == nil && v
+}
+
+// TimeZoneOffsetSeconds resolves the session time zone to a UTC offset.
+// Unknown zone names resolve to UTC — silently, as Spark's fallback
+// behaviour does.
+func (c *Conf) TimeZoneOffsetSeconds() int64 {
+	return sessionZones[c.Get(ConfSessionTimeZone)]
+}
+
+// Snapshot returns a sorted copy of all settings for logs.
+func (c *Conf) Snapshot() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.values))
+	for k, v := range c.values {
+		out = append(out, fmt.Sprintf("%s=%s", k, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the configuration.
+func (c *Conf) Clone() *Conf {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	values := make(map[string]string, len(c.values))
+	for k, v := range c.values {
+		values[k] = v
+	}
+	return &Conf{values: values}
+}

@@ -1,0 +1,103 @@
+package sparksim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hivesim"
+	"repro/internal/serde"
+	"repro/internal/sqlval"
+)
+
+// DataFrame is an in-memory typed dataset bound to a session, the
+// second write/read interface of the Figure 6 test setup. Values are
+// coerced into the frame's schema with Spark's silent legacy semantics:
+// the DataFrame API does not apply ANSI store assignment, which is the
+// asymmetry behind the "inconsistent error behavior" discrepancies.
+type DataFrame struct {
+	sess   *Session
+	schema serde.Schema
+	rows   []sqlval.Row
+}
+
+// CreateDataFrame builds a DataFrame, silently coercing every value to
+// the schema (invalid values become NULL, overlong strings truncate,
+// out-of-range integers wrap).
+func (s *Session) CreateDataFrame(schema serde.Schema, rows []sqlval.Row) (*DataFrame, error) {
+	out := make([]sqlval.Row, len(rows))
+	for r, row := range rows {
+		if len(row) != len(schema.Columns) {
+			return nil, fmt.Errorf("spark: row %d has %d values, schema has %d columns", r, len(row), len(schema.Columns))
+		}
+		converted := make(sqlval.Row, len(row))
+		for i, v := range row {
+			c, _ := sqlval.Cast(v, schema.Columns[i].Type, sqlval.CastLegacy)
+			converted[i] = c
+		}
+		out[r] = converted
+	}
+	return &DataFrame{sess: s, schema: schema, rows: out}, nil
+}
+
+// Schema returns the frame's schema.
+func (df *DataFrame) Schema() serde.Schema { return df.schema }
+
+// Collect returns the frame's rows.
+func (df *DataFrame) Collect() []sqlval.Row { return df.rows }
+
+// SaveAsTable writes the frame to a warehouse table through the Hive
+// connector, creating the table as a Spark datasource table (the
+// case-preserving Spark schema is persisted for every format) if it
+// does not exist, and appending otherwise.
+func (df *DataFrame) SaveAsTable(name, format string) error {
+	s := df.sess
+	table, err := s.ms.GetTable(name)
+	if errors.Is(err, hivesim.ErrNoSuchTable) {
+		table, err = s.createTable(name, df.schema.Columns, nil, format, true)
+	}
+	if err != nil {
+		return err
+	}
+	if table.Format != format {
+		return fmt.Errorf("spark: table %s uses format %s, cannot append as %s", name, table.Format, format)
+	}
+	schema := serde.Schema{Columns: s.applyCharVarcharAsString(df.schema.Columns)}
+	rows := df.rows
+	if s.conf.Bool(ConfCharVarcharAsString) {
+		rows = make([]sqlval.Row, len(df.rows))
+		for r, row := range df.rows {
+			out := make(sqlval.Row, len(row))
+			for i, v := range row {
+				c, _ := sqlval.Cast(v, schema.Columns[i].Type, sqlval.CastLegacy)
+				out[i] = c
+			}
+			rows[r] = out
+		}
+	}
+	return s.writeRows(table, schema, rows, true)
+}
+
+// Table reads a warehouse table through the DataFrame interface. Unlike
+// SparkSQL, the DataFrame reader does not fall back to the Hive schema
+// when the strict native reader fails — the IncompatibleSchemaException
+// of SPARK-39075 escapes to the caller.
+func (s *Session) Table(name string) (*Result, error) {
+	table, err := s.ms.GetTable(name)
+	if err != nil {
+		return nil, err
+	}
+	schema, fromProps, err := s.resolveSchema(table)
+	if err != nil {
+		return nil, err
+	}
+	var warnings []string
+	if !fromProps {
+		warnings = append(warnings, fallbackWarning(table.Name))
+	}
+	rows, err := s.readTable(table, schema, true)
+	if err != nil {
+		return nil, err
+	}
+	cols := append(append([]serde.Column(nil), schema.Columns...), table.PartitionCols...)
+	return &Result{Columns: cols, Rows: rows, Warnings: warnings}, nil
+}

@@ -1,0 +1,76 @@
+package sparksim
+
+import "fmt"
+
+// Version profiles. The paper's §8.1 methodology deploys two Spark
+// versions — 2.3.0 for the Spark↔Hive test plans (the last version
+// supporting an external Hive instance) and 3.2.1 for Spark-to-Spark —
+// and §5.3 observes that cross-version configuration defaults are
+// themselves a CSI hazard: the same deployment behaves differently
+// because the versions ship different defaults.
+const (
+	// Version23 approximates Spark 2.3.0 defaults: legacy store
+	// assignment and casts (silent coercion), hybrid-calendar
+	// datetimes, and the legacy decimal writer.
+	Version23 = "2.3.0"
+	// Version32 approximates Spark 3.2.1 defaults: ANSI store
+	// assignment, proleptic Gregorian datetimes. This is the
+	// simulator's default profile.
+	Version32 = "3.2.1"
+)
+
+// versionProfiles maps a version to the configuration defaults it
+// ships.
+var versionProfiles = map[string]map[string]string{
+	Version23: {
+		ConfStoreAssignmentPolicy: "legacy",
+		ConfAnsiEnabled:           "false",
+		ConfDatetimeRebaseLegacy:  "true",
+		ConfWriteLegacyDecimal:    "true",
+		ConfCharVarcharAsString:   "true", // CHAR/VARCHAR were plain strings pre-3.1
+	},
+	Version32: {
+		ConfStoreAssignmentPolicy: "ansi",
+		ConfAnsiEnabled:           "true",
+		ConfDatetimeRebaseLegacy:  "false",
+		ConfWriteLegacyDecimal:    "true",
+		ConfCharVarcharAsString:   "false",
+	},
+}
+
+// Versions lists the supported version profiles.
+func Versions() []string { return []string{Version23, Version32} }
+
+// ApplyVersionProfile resets the configuration keys a release ships
+// different defaults for. Explicit Set calls afterwards still override,
+// exactly as deployment configuration overrides shipped defaults.
+func (s *Session) ApplyVersionProfile(version string) error {
+	profile, ok := versionProfiles[version]
+	if !ok {
+		return fmt.Errorf("spark: unknown version %q (have %v)", version, Versions())
+	}
+	for k, v := range profile {
+		s.conf.Set(k, v)
+	}
+	s.conf.Set("spark.version", version)
+	return nil
+}
+
+// Version returns the session's version profile name (empty when no
+// profile was applied).
+func (s *Session) Version() string { return s.conf.Get("spark.version") }
+
+// VersionConf returns a copy of a version profile's configuration
+// defaults, suitable for applying as deployment configuration (e.g. to
+// a cross-test run). Unknown versions return nil.
+func VersionConf(version string) map[string]string {
+	profile, ok := versionProfiles[version]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]string, len(profile))
+	for k, v := range profile {
+		out[k] = v
+	}
+	return out
+}

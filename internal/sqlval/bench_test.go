@@ -1,0 +1,58 @@
+package sqlval
+
+import "testing"
+
+// BenchmarkCast measures the per-value coercion cost that dominates the
+// engines' insert paths, per cast mode.
+func BenchmarkCast(b *testing.B) {
+	inputs := []struct {
+		name string
+		v    Value
+		to   Type
+	}{
+		{"int-widen", IntVal(TinyInt, 5), BigInt},
+		{"string-to-int", StringVal("12345"), Int},
+		{"string-to-decimal", StringVal("123.45"), DecimalType(10, 2)},
+		{"string-to-date", StringVal("2021-06-15"), Date},
+		{"char-pad", StringVal("ab"), CharType(16)},
+	}
+	for _, in := range inputs {
+		b.Run(in.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Cast(in.v, in.to, CastANSI); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCastLenientFailure measures the silent-NULL path of the
+// lenient modes.
+func BenchmarkCastLenientFailure(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cast(StringVal("junk"), Int, CastHive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseType measures DDL type parsing.
+func BenchmarkParseType(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseType("STRUCT<a:INT,b:ARRAY<MAP<STRING,DECIMAL(10,2)>>>"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDateRebase measures the hybrid-calendar reinterpretation.
+func BenchmarkDateRebase(b *testing.B) {
+	days := DaysFromCivil(1500, 6, 1)
+	for i := 0; i < b.N; i++ {
+		_ = RebaseGregorianToHybrid(days)
+	}
+}

@@ -1,0 +1,85 @@
+package sqlval
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Compare orders two values of comparable kinds, returning -1, 0 or +1.
+// Numeric values compare numerically across kinds; character values
+// compare lexicographically. NULL compares less than everything and
+// equal to NULL. Nested types and cross-family comparisons are errors.
+func Compare(a, b Value) (int, error) {
+	if a.Null || b.Null {
+		switch {
+		case a.Null && b.Null:
+			return 0, nil
+		case a.Null:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	switch {
+	case a.Type.IsNumeric() && b.Type.IsNumeric():
+		return compareNumeric(a, b), nil
+	case a.Type.IsCharacter() && b.Type.IsCharacter():
+		return strings.Compare(a.S, b.S), nil
+	case a.Type.Kind == KindBoolean && b.Type.Kind == KindBoolean:
+		switch {
+		case a.B == b.B:
+			return 0, nil
+		case b.B:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	case a.Type.Kind == KindBinary && b.Type.Kind == KindBinary:
+		return bytes.Compare(a.Bytes, b.Bytes), nil
+	case a.Type.Kind == b.Type.Kind && (a.Type.Kind == KindDate || a.Type.Kind == KindTimestamp):
+		return compareInt64(a.I, b.I), nil
+	default:
+		return 0, fmt.Errorf("sqlval: cannot compare %s with %s", a.Type, b.Type)
+	}
+}
+
+func compareNumeric(a, b Value) int {
+	if a.Type.IsIntegral() && b.Type.IsIntegral() {
+		return compareInt64(a.I, b.I)
+	}
+	if a.Type.Kind == KindDecimal && b.Type.Kind == KindDecimal {
+		return a.D.Cmp(b.D)
+	}
+	fa, fb := numericFloat(a), numericFloat(b)
+	switch {
+	case fa < fb:
+		return -1
+	case fa > fb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func numericFloat(v Value) float64 {
+	switch v.Type.Kind {
+	case KindFloat, KindDouble:
+		return v.F
+	case KindDecimal:
+		return v.D.Float64()
+	default:
+		return float64(v.I)
+	}
+}
+
+func compareInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

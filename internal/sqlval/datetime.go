@@ -1,0 +1,221 @@
+package sqlval
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Date values are stored as days since 1970-01-01 in the proleptic
+// Gregorian calendar. Timestamp values are microseconds since
+// 1970-01-01T00:00:00 with no zone.
+//
+// The Julian↔Gregorian helpers below model the calendar-rebase
+// discrepancy of the §8.2 case study: Hive's classic readers interpret
+// stored day counts through the hybrid Julian/Gregorian calendar, while
+// Spark 3 uses the proleptic Gregorian calendar, so dates before the
+// 1582-10-15 cutover shift when crossing the system boundary.
+
+const (
+	jdnUnixEpoch = 2440588 // Julian Day Number of 1970-01-01 (Gregorian)
+
+	// GregorianCutoverDays is 1582-10-15 expressed as days since epoch;
+	// dates at or after the cutover are identical in both calendars.
+	GregorianCutoverDays = -141427
+
+	// MicrosPerSecond is the timestamp resolution multiplier.
+	MicrosPerSecond = int64(1000000)
+	// MicrosPerDay is the number of microseconds in a civil day.
+	MicrosPerDay = 86400 * MicrosPerSecond
+)
+
+// DaysFromCivil converts a proleptic Gregorian civil date to days since
+// the Unix epoch.
+func DaysFromCivil(year, month, day int) int64 {
+	a := int64(14-month) / 12
+	y := int64(year) + 4800 - a
+	m := int64(month) + 12*a - 3
+	jdn := int64(day) + (153*m+2)/5 + 365*y + y/4 - y/100 + y/400 - 32045
+	return jdn - jdnUnixEpoch
+}
+
+// CivilFromDays converts days since the Unix epoch to a proleptic
+// Gregorian civil date.
+func CivilFromDays(days int64) (year, month, day int) {
+	jdn := days + jdnUnixEpoch
+	a := jdn + 32044
+	b := (4*a + 3) / 146097
+	c := a - 146097*b/4
+	d := (4*c + 3) / 1461
+	e := c - 1461*d/4
+	m := (5*e + 2) / 153
+	day = int(e - (153*m+2)/5 + 1)
+	month = int(m + 3 - 12*(m/10))
+	year = int(100*b + d - 4800 + m/10)
+	return year, month, day
+}
+
+// julianDaysFromCivil converts a Julian-calendar civil date to days
+// since the Unix epoch.
+func julianDaysFromCivil(year, month, day int) int64 {
+	a := int64(14-month) / 12
+	y := int64(year) + 4800 - a
+	m := int64(month) + 12*a - 3
+	jdn := int64(day) + (153*m+2)/5 + 365*y + y/4 - 32083
+	return jdn - jdnUnixEpoch
+}
+
+// julianCivilFromDays converts days since the Unix epoch to a
+// Julian-calendar civil date.
+func julianCivilFromDays(days int64) (year, month, day int) {
+	jdn := days + jdnUnixEpoch
+	b := int64(0)
+	c := jdn + 32082
+	d := (4*c + 3) / 1461
+	e := c - 1461*d/4
+	m := (5*e + 2) / 153
+	day = int(e - (153*m+2)/5 + 1)
+	month = int(m + 3 - 12*(m/10))
+	year = int(100*b + d - 4800 + m/10)
+	return year, month, day
+}
+
+// RebaseGregorianToHybrid reinterprets a proleptic-Gregorian day count
+// as the day count a hybrid-calendar system produces for the same civil
+// date. Dates at or after the 1582-10-15 cutover are unchanged.
+func RebaseGregorianToHybrid(days int64) int64 {
+	if days >= GregorianCutoverDays {
+		return days
+	}
+	y, m, d := CivilFromDays(days)
+	return julianDaysFromCivil(y, m, d)
+}
+
+// RebaseHybridToGregorian is the inverse reinterpretation: a hybrid
+// day count read by a proleptic-Gregorian system.
+func RebaseHybridToGregorian(days int64) int64 {
+	if days >= GregorianCutoverDays {
+		return days
+	}
+	y, m, d := julianCivilFromDays(days)
+	return DaysFromCivil(y, m, d)
+}
+
+// IsValidCivil reports whether (year, month, day) is a real calendar
+// date in the proleptic Gregorian calendar.
+func IsValidCivil(year, month, day int) bool {
+	if month < 1 || month > 12 || day < 1 {
+		return false
+	}
+	return day <= daysInMonth(year, month)
+}
+
+func daysInMonth(year, month int) int {
+	switch month {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	default: // February
+		if isLeap(year) {
+			return 29
+		}
+		return 28
+	}
+}
+
+func isLeap(year int) bool {
+	return year%4 == 0 && (year%100 != 0 || year%400 == 0)
+}
+
+// ParseDate parses "YYYY-MM-DD" into days since epoch, rejecting
+// impossible dates such as 2021-02-30.
+func ParseDate(s string) (int64, error) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("sqlval: malformed date %q", s)
+	}
+	y, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	d, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, fmt.Errorf("sqlval: malformed date %q", s)
+	}
+	if !IsValidCivil(y, m, d) {
+		return 0, fmt.Errorf("sqlval: invalid date %q", s)
+	}
+	return DaysFromCivil(y, m, d), nil
+}
+
+// FormatDate renders days since epoch as "YYYY-MM-DD".
+func FormatDate(days int64) string {
+	y, m, d := CivilFromDays(days)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// ParseTimestamp parses "YYYY-MM-DD HH:MM:SS[.ffffff]" into
+// microseconds since epoch, rejecting out-of-range components.
+func ParseTimestamp(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	datePart, timePart := s, ""
+	if i := strings.IndexAny(s, " T"); i >= 0 {
+		datePart, timePart = s[:i], s[i+1:]
+	}
+	days, err := ParseDate(datePart)
+	if err != nil {
+		return 0, fmt.Errorf("sqlval: invalid timestamp %q", s)
+	}
+	micros := days * MicrosPerDay
+	if timePart == "" {
+		return micros, nil
+	}
+	frac := ""
+	if i := strings.IndexByte(timePart, '.'); i >= 0 {
+		timePart, frac = timePart[:i], timePart[i+1:]
+	}
+	hms := strings.Split(timePart, ":")
+	if len(hms) != 3 {
+		return 0, fmt.Errorf("sqlval: invalid timestamp %q", s)
+	}
+	h, err1 := strconv.Atoi(hms[0])
+	mi, err2 := strconv.Atoi(hms[1])
+	sec, err3 := strconv.Atoi(hms[2])
+	if err1 != nil || err2 != nil || err3 != nil ||
+		h < 0 || h > 23 || mi < 0 || mi > 59 || sec < 0 || sec > 59 {
+		return 0, fmt.Errorf("sqlval: invalid timestamp %q", s)
+	}
+	micros += (int64(h)*3600 + int64(mi)*60 + int64(sec)) * MicrosPerSecond
+	if frac != "" {
+		if len(frac) > 6 {
+			frac = frac[:6]
+		}
+		for len(frac) < 6 {
+			frac += "0"
+		}
+		f, err := strconv.ParseInt(frac, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("sqlval: invalid timestamp %q", s)
+		}
+		micros += f
+	}
+	return micros, nil
+}
+
+// FormatTimestamp renders microseconds since epoch as
+// "YYYY-MM-DD HH:MM:SS[.ffffff]" (fraction omitted when zero).
+func FormatTimestamp(micros int64) string {
+	days := micros / MicrosPerDay
+	rem := micros % MicrosPerDay
+	if rem < 0 {
+		days--
+		rem += MicrosPerDay
+	}
+	secs := rem / MicrosPerSecond
+	frac := rem % MicrosPerSecond
+	h, mi, s := secs/3600, (secs/60)%60, secs%60
+	base := fmt.Sprintf("%s %02d:%02d:%02d", FormatDate(days), h, mi, s)
+	if frac == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s.%06d", base, frac)
+}

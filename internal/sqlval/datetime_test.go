@@ -1,0 +1,147 @@
+package sqlval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCivilRoundTrip(t *testing.T) {
+	cases := []struct {
+		y, m, d int
+		days    int64
+	}{
+		{1970, 1, 1, 0},
+		{1970, 1, 2, 1},
+		{1969, 12, 31, -1},
+		{2000, 3, 1, 11017},
+		{1582, 10, 15, GregorianCutoverDays},
+	}
+	for _, c := range cases {
+		if got := DaysFromCivil(c.y, c.m, c.d); got != c.days {
+			t.Errorf("DaysFromCivil(%d,%d,%d) = %d, want %d", c.y, c.m, c.d, got, c.days)
+		}
+		y, m, d := CivilFromDays(c.days)
+		if y != c.y || m != c.m || d != c.d {
+			t.Errorf("CivilFromDays(%d) = %d-%d-%d, want %d-%d-%d", c.days, y, m, d, c.y, c.m, c.d)
+		}
+	}
+}
+
+func TestCivilRoundTripProperty(t *testing.T) {
+	f := func(n int32) bool {
+		days := int64(n % 1000000)
+		y, m, d := CivilFromDays(days)
+		return DaysFromCivil(y, m, d) == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	days, err := ParseDate("2021-06-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatDate(days) != "2021-06-15" {
+		t.Errorf("round trip = %q", FormatDate(days))
+	}
+	for _, bad := range []string{"2021-02-30", "2021-13-01", "2021-00-10", "not-a-date", "2021-2", ""} {
+		if _, err := ParseDate(bad); err == nil {
+			t.Errorf("ParseDate(%q): expected error", bad)
+		}
+	}
+	// Leap-year handling.
+	if _, err := ParseDate("2020-02-29"); err != nil {
+		t.Errorf("2020-02-29 should be valid: %v", err)
+	}
+	if _, err := ParseDate("2100-02-29"); err == nil {
+		t.Error("2100-02-29 should be invalid (century non-leap)")
+	}
+	if _, err := ParseDate("2000-02-29"); err != nil {
+		t.Error("2000-02-29 should be valid (400-year leap)")
+	}
+}
+
+func TestParseTimestamp(t *testing.T) {
+	micros, err := ParseTimestamp("1970-01-01 00:00:01")
+	if err != nil || micros != MicrosPerSecond {
+		t.Fatalf("epoch+1s = %d, %v", micros, err)
+	}
+	micros, err = ParseTimestamp("2021-06-15 12:30:45.123456")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatTimestamp(micros); got != "2021-06-15 12:30:45.123456" {
+		t.Errorf("round trip = %q", got)
+	}
+	if got := FormatTimestamp(0); got != "1970-01-01 00:00:00" {
+		t.Errorf("epoch = %q", got)
+	}
+	// Negative timestamps format correctly.
+	micros, err = ParseTimestamp("1969-12-31 23:59:59")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if micros != -MicrosPerSecond {
+		t.Errorf("1969-12-31 23:59:59 = %d", micros)
+	}
+	if got := FormatTimestamp(micros); got != "1969-12-31 23:59:59" {
+		t.Errorf("negative round trip = %q", got)
+	}
+	for _, bad := range []string{"2021-02-30 00:00:00", "2021-01-01 25:00:00", "2021-01-01 00:61:00", "x"} {
+		if _, err := ParseTimestamp(bad); err == nil {
+			t.Errorf("ParseTimestamp(%q): expected error", bad)
+		}
+	}
+}
+
+func TestTimestampRoundTripProperty(t *testing.T) {
+	f := func(n int64) bool {
+		micros := n % (400 * 365 * MicrosPerDay)
+		parsed, err := ParseTimestamp(FormatTimestamp(micros))
+		return err == nil && parsed == micros
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRebaseIdentityAfterCutover(t *testing.T) {
+	for _, days := range []int64{GregorianCutoverDays, 0, 18000, -100000} {
+		if got := RebaseGregorianToHybrid(days); got != days {
+			t.Errorf("rebase(%d) = %d, want identity", days, got)
+		}
+	}
+}
+
+func TestRebaseShiftsPreCutoverDates(t *testing.T) {
+	// 1500-06-01 differs by 10 days between the calendars (the gap is 9
+	// days before the Julian leap day 1500-02-29, 10 after).
+	days := DaysFromCivil(1500, 6, 1)
+	hybrid := RebaseGregorianToHybrid(days)
+	if hybrid == days {
+		t.Fatal("pre-cutover date should shift")
+	}
+	if diff := hybrid - days; diff != 10 {
+		t.Errorf("1500-06-01 shift = %d days, want 10", diff)
+	}
+	if diff := RebaseGregorianToHybrid(DaysFromCivil(1500, 1, 1)) - DaysFromCivil(1500, 1, 1); diff != 9 {
+		t.Errorf("1500-01-01 shift = %d days, want 9", diff)
+	}
+	// The rebase round-trips.
+	if back := RebaseHybridToGregorian(hybrid); back != days {
+		t.Errorf("round trip = %d, want %d", back, days)
+	}
+}
+
+func TestRebaseRoundTripProperty(t *testing.T) {
+	f := func(n int32) bool {
+		// Stay within a few millennia before the cutover.
+		days := GregorianCutoverDays - 1 - int64(uint32(n)%700000)
+		return RebaseHybridToGregorian(RebaseGregorianToHybrid(days)) == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

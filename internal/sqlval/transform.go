@@ -1,0 +1,56 @@
+package sqlval
+
+// TransformLeaves returns a copy of v with f applied to every non-null
+// leaf (non-nested) value, recursing through arrays, maps and structs.
+// Engines use it to apply read/write-side reinterpretations such as
+// calendar rebasing and time-zone adjustment uniformly to nested data.
+func TransformLeaves(v Value, f func(Value) Value) Value {
+	if v.Null {
+		return v
+	}
+	switch v.Type.Kind {
+	case KindArray:
+		out := v.Clone()
+		for i := range out.List {
+			out.List[i] = TransformLeaves(out.List[i], f)
+		}
+		return out
+	case KindMap:
+		out := v.Clone()
+		for i := range out.Keys {
+			out.Keys[i] = TransformLeaves(out.Keys[i], f)
+			out.Vals[i] = TransformLeaves(out.Vals[i], f)
+		}
+		return out
+	case KindStruct:
+		out := v.Clone()
+		for i := range out.FieldVals {
+			out.FieldVals[i] = TransformLeaves(out.FieldVals[i], f)
+		}
+		return out
+	default:
+		return f(v)
+	}
+}
+
+// RebaseDates returns a leaf transformer that applies f to DATE day
+// counts and leaves other values untouched.
+func RebaseDates(f func(int64) int64) func(Value) Value {
+	return func(v Value) Value {
+		if v.Type.Kind == KindDate {
+			v.I = f(v.I)
+		}
+		return v
+	}
+}
+
+// ShiftTimestamps returns a leaf transformer that adds deltaMicros to
+// TIMESTAMP values.
+func ShiftTimestamps(deltaMicros int64) func(Value) Value {
+	return func(v Value) Value {
+		if v.Type.Kind == KindTimestamp {
+			v.I += deltaMicros
+		}
+		return v
+	}
+}

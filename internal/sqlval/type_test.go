@@ -1,0 +1,128 @@
+package sqlval
+
+import (
+	"testing"
+)
+
+func TestParseTypePrimitives(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Type
+	}{
+		{"INT", Int},
+		{"integer", Int},
+		{"TINYINT", TinyInt},
+		{"byte", TinyInt},
+		{"SMALLINT", SmallInt},
+		{"short", SmallInt},
+		{"BIGINT", BigInt},
+		{"long", BigInt},
+		{"BOOLEAN", Boolean},
+		{"FLOAT", Float},
+		{"DOUBLE", Double},
+		{"STRING", String},
+		{"BINARY", Binary},
+		{"DATE", Date},
+		{"TIMESTAMP", Timestamp},
+		{"DECIMAL(5,2)", DecimalType(5, 2)},
+		{"DECIMAL(7)", DecimalType(7, 0)},
+		{"DECIMAL", DecimalType(10, 0)},
+		{"CHAR(4)", CharType(4)},
+		{"VARCHAR(10)", VarcharType(10)},
+	}
+	for _, c := range cases {
+		got, err := ParseType(c.in)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", c.in, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseType(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTypeNested(t *testing.T) {
+	got, err := ParseType("ARRAY<INT>")
+	if err != nil || !got.Equal(ArrayType(Int)) {
+		t.Fatalf("ARRAY<INT> = %v, %v", got, err)
+	}
+	got, err = ParseType("MAP<STRING, INT>")
+	if err != nil || !got.Equal(MapType(String, Int)) {
+		t.Fatalf("MAP = %v, %v", got, err)
+	}
+	got, err = ParseType("STRUCT<a:INT, b:STRING>")
+	if err != nil || !got.Equal(StructType(Field{"a", Int}, Field{"b", String})) {
+		t.Fatalf("STRUCT = %v, %v", got, err)
+	}
+	got, err = ParseType("ARRAY<MAP<STRING,STRUCT<x:DECIMAL(5,2)>>>")
+	want := ArrayType(MapType(String, StructType(Field{"x", DecimalType(5, 2)})))
+	if err != nil || !got.Equal(want) {
+		t.Fatalf("nested = %v, %v", got, err)
+	}
+}
+
+func TestParseTypeErrors(t *testing.T) {
+	for _, in := range []string{"", "FOO", "ARRAY<INT", "MAP<INT>", "CHAR", "DECIMAL(", "INT trailing"} {
+		if _, err := ParseType(in); err == nil {
+			t.Errorf("ParseType(%q): expected error", in)
+		}
+	}
+}
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	types := []Type{
+		Int, TinyInt, SmallInt, BigInt, Boolean, Float, Double, String,
+		Binary, Date, Timestamp, DecimalType(9, 3), CharType(8), VarcharType(16),
+		ArrayType(Int), MapType(String, Double),
+		StructType(Field{"a", Int}, Field{"b", ArrayType(String)}),
+	}
+	for _, typ := range types {
+		got, err := ParseType(typ.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", typ.String(), err)
+		}
+		if !got.Equal(typ) {
+			t.Errorf("round trip %v -> %v", typ, got)
+		}
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !Int.IsNumeric() || !Int.IsIntegral() || Int.IsCharacter() || Int.IsNested() {
+		t.Error("INT predicates wrong")
+	}
+	if !DecimalType(5, 2).IsNumeric() || DecimalType(5, 2).IsIntegral() {
+		t.Error("DECIMAL predicates wrong")
+	}
+	if !CharType(3).IsCharacter() || CharType(3).IsNumeric() {
+		t.Error("CHAR predicates wrong")
+	}
+	if !ArrayType(Int).IsNested() {
+		t.Error("ARRAY predicates wrong")
+	}
+}
+
+func TestIntegralRange(t *testing.T) {
+	min, max := IntegralRange(KindTinyInt)
+	if min != -128 || max != 127 {
+		t.Errorf("TINYINT range = [%d, %d]", min, max)
+	}
+	min, max = IntegralRange(KindInt)
+	if min != -2147483648 || max != 2147483647 {
+		t.Errorf("INT range = [%d, %d]", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntegralRange(KindString) did not panic")
+		}
+	}()
+	IntegralRange(KindString)
+}
+
+func TestTypeEqualStructFieldOrder(t *testing.T) {
+	a := StructType(Field{"a", Int}, Field{"b", String})
+	b := StructType(Field{"b", String}, Field{"a", Int})
+	if a.Equal(b) {
+		t.Error("struct types with reordered fields must not be equal")
+	}
+}

@@ -1,0 +1,234 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/csi"
+	"repro/internal/dataset"
+)
+
+// Check is one verifiable statistic backing a finding.
+type Check struct {
+	Name string
+	Got  int
+	Want int
+}
+
+// OK reports whether the statistic reproduced.
+func (c Check) OK() bool { return c.Got == c.Want }
+
+// Finding is one of the paper's numbered findings with its recomputed
+// statistics.
+type Finding struct {
+	Number    int
+	Statement string
+	Checks    []Check
+}
+
+// OK reports whether every statistic reproduced.
+func (f Finding) OK() bool {
+	for _, c := range f.Checks {
+		if !c.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the finding with pass/fail marks.
+func (f Finding) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Finding %d: %s\n", f.Number, f.Statement)
+	for _, c := range f.Checks {
+		mark := "ok"
+		if !c.OK() {
+			mark = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "  %-52s got %4d  want %4d  [%s]\n", c.Name, c.Got, c.Want, mark)
+	}
+	return b.String()
+}
+
+// Findings recomputes Findings 1–13 from the dataset.
+func Findings(failures []dataset.Failure) []Finding {
+	incidents := dataset.CSIIncidents()
+	planes := PlaneCounts(failures)
+	dp := dataPlane(failures)
+	cfg := configFailures(failures)
+	cp := controlPlaneRecords(failures)
+
+	cascaded, codeFix, minDur, maxDur := 0, 0, 1<<31, 0
+	for _, inc := range incidents {
+		if inc.CascadedExternally {
+			cascaded++
+		}
+		if inc.MentionedCodeFix {
+			codeFix++
+		}
+		if inc.DurationMinutes < minDur {
+			minDur = inc.DurationMinutes
+		}
+		if inc.DurationMinutes > maxDur {
+			maxDur = inc.DurationMinutes
+		}
+	}
+
+	metadataTypical, metadataCustom, apiSem := 0, 0, 0
+	tableOps, kvOps, serialization := 0, 0, 0
+	for i := range dp {
+		switch dp[i].DataProperty {
+		case dataset.PropAddress, dataset.PropSchemaStructure, dataset.PropSchemaValue:
+			metadataTypical++
+		case dataset.PropCustom:
+			metadataCustom++
+		case dataset.PropAPISemantics:
+			apiSem++
+		}
+		switch dp[i].DataAbstraction {
+		case dataset.AbstractionTable:
+			tableOps++
+		case dataset.AbstractionKVTuple:
+			kvOps++
+		}
+		if dp[i].Serialization {
+			serialization++
+		}
+	}
+
+	silentIgnoredOrOverridden, paramCfg, compCfg := 0, 0, 0
+	for i := range cfg {
+		if cfg[i].ConfigPattern == dataset.ConfigIgnorance || cfg[i].ConfigPattern == dataset.ConfigUnexpectedOverride {
+			silentIgnoredOrOverridden++
+		}
+		switch cfg[i].ConfigCategory {
+		case dataset.ConfigParameter:
+			paramCfg++
+		case dataset.ConfigComponent:
+			compCfg++
+		}
+	}
+	monitoring := planes[csi.ManagementPlane] - len(cfg)
+
+	apiMisuse, implicit, wrongCtx, implicitProps := 0, 0, 0, 0
+	for i := range cp {
+		switch cp[i].ControlPattern {
+		case dataset.APISemanticViolation:
+			apiMisuse++
+			implicitProps++
+			if cp[i].APIMisuse == dataset.ImplicitSemanticViolation {
+				implicit++
+			} else {
+				wrongCtx++
+			}
+		case dataset.StateResourceInconsistency:
+			implicitProps++
+		}
+	}
+
+	withFix, checkingOrEH, upstreamSpecific, inConnector, generic := 0, 0, 0, 0, 0
+	for i := range failures {
+		f := &failures[i]
+		if f.FixPattern != dataset.FixOthers {
+			withFix++
+		}
+		if f.FixPattern == dataset.FixChecking || f.FixPattern == dataset.FixErrorHandling {
+			checkingOrEH++
+		}
+		switch f.FixLocation {
+		case dataset.FixUpstreamConnector:
+			upstreamSpecific++
+			inConnector++
+		case dataset.FixUpstreamSpecific:
+			upstreamSpecific++
+		case dataset.FixGeneric:
+			generic++
+		}
+	}
+
+	return []Finding{
+		{1, "Among 55 cloud incidents, 11 (20%) were caused by CSI failures, showing their catastrophic consequences.", []Check{
+			{"sampled incidents", dataset.TotalIncidents(), 55},
+			{"CSI incidents", len(incidents), 11},
+			{"minimum duration (min)", minDur, 10},
+			{"maximum duration (min)", maxDur, 1140},
+			{"median duration (min)", MedianDuration(incidents), 106},
+			{"incidents cascading to external services", cascaded, 8},
+			{"postmortems mentioning interaction code fixes", codeFix, 4},
+		}},
+		{2, "Data- and management-plane interactions contribute significant percentages: 51% data, 32% management, 17% control.", []Check{
+			{"data-plane failures", planes[csi.DataPlane], 61},
+			{"management-plane failures", planes[csi.ManagementPlane], 39},
+			{"control-plane failures", planes[csi.ControlPlane], 20},
+			{"data-plane percent", percent(planes[csi.DataPlane], len(failures)), 51},
+			{"management-plane percent", percent(planes[csi.ManagementPlane], len(failures)), 32},
+			{"control-plane percent", percent(planes[csi.ControlPlane], len(failures)), 17},
+		}},
+		{3, "Most (89/120) CSI failures are manifested through crashing behavior.", []Check{
+			{"crashing failures", CrashingCount(failures), dataset.CrashingTarget},
+			{"total failures", len(failures), 120},
+		}},
+		{4, "The majority (50/61) of data-plane CSI failures are caused by metadata: typical (42/61) and custom (8/61); the others (11/61) by API semantics.", []Check{
+			{"typical metadata (address + schema)", metadataTypical, 42},
+			{"custom metadata", metadataCustom, 8},
+			{"metadata total", metadataTypical + metadataCustom, 50},
+			{"API semantics", apiSem, 11},
+		}},
+		{5, "Complicated data abstractions are more error-prone: 57% (35/61) are table-related; none are key-value tuple operations.", []Check{
+			{"table-related failures", tableOps, 35},
+			{"key-value tuple failures", kvOps, 0},
+		}},
+		{6, "25% (15/61) data-plane CSI failures are root-caused by data serialization.", []Check{
+			{"serialization-rooted failures", serialization, 15},
+		}},
+		{7, "CSI-inducing configuration issues are about coherently configuring multiple systems; 60% (18/30) are silent ignorance or unexpected override.", []Check{
+			{"configuration failures", len(cfg), 30},
+			{"silently ignored or overridden", silentIgnoredOrOverridden, 18},
+		}},
+		{8, "Parameter-related configuration issues are the majority (21/30); the rest (9/30) are in configuration components.", []Check{
+			{"parameter-related", paramCfg, 21},
+			{"component-related", compCfg, 9},
+		}},
+		{9, "Monitoring-related CSIs are critical to reliability, especially when monitoring data triggers critical actions.", []Check{
+			{"monitoring-related failures", monitoring, 9},
+		}},
+		{10, "Most control-plane CSI failures are rooted in implicit properties: implicit API semantics and state/resource inconsistencies.", []Check{
+			{"API semantic violations", apiMisuse, 13},
+			{"state/resource inconsistencies + API", implicitProps, 18},
+			{"control-plane total", len(cp), 20},
+		}},
+		{11, "API misuses contribute the majority (13/20) of control-plane failures: implicit semantic violation (8/13) and wrong invocation context (5/13).", []Check{
+			{"API misuses", apiMisuse, 13},
+			{"implicit semantic violations", implicit, 8},
+			{"wrong invocation context", wrongCtx, 5},
+		}},
+		{12, "In 40% (46/115) CSI failures, the merged fixes improve condition checking and error handling instead of repairing the interaction.", []Check{
+			{"failures with merged fixes", withFix, 115},
+			{"checking or error-handling fixes", checkingOrEH, 46},
+		}},
+		{13, "In 69% (79/115) fixes were upstream code specific to the downstream; 68 of those 79 (86%) resided in dedicated connector modules.", []Check{
+			{"upstream-specific fixes", upstreamSpecific, 79},
+			{"fixes inside connector modules", inConnector, 68},
+			{"generic-code fixes", generic, 36},
+		}},
+	}
+}
+
+// CBSComparison recomputes the §5.1 comparison against the CBS slice:
+// the share of control-plane CSI failures in the 2014 dataset.
+func CBSComparison() (csiCount, dependencyCount, controlPercent int) {
+	slice := dataset.CBSSlice()
+	control := 0
+	for _, issue := range slice {
+		switch issue.Label {
+		case dataset.CBSCSIFailure:
+			csiCount++
+			if issue.Plane == csi.ControlPlane {
+				control++
+			}
+		case dataset.CBSDependencyFailure:
+			dependencyCount++
+		}
+	}
+	return csiCount, dependencyCount, percent(control, csiCount)
+}

@@ -1,0 +1,323 @@
+// Package study is the analysis engine of the reproduction: it
+// recomputes every table (Tables 1–9) and every quantitative finding
+// (Findings 1–13) of the paper from the dataset package, the way the
+// artifact's reproduce_study notebook does from the original labels.
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/csi"
+	"repro/internal/dataset"
+)
+
+// Table is one rendered study table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s. %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for r, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			for _, w := range widths {
+				b.WriteString(strings.Repeat("-", w) + "  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Table1 recomputes Table 1: target systems, interactions, and counts.
+func Table1(failures []dataset.Failure) Table {
+	counts := map[csi.Interaction]int{}
+	for i := range failures {
+		counts[failures[i].Interaction()]++
+	}
+	t := Table{ID: "Table 1", Title: "Target systems, their interactions, and the number of CSI failures",
+		Header: []string{"Upstream", "Downstream", "Interaction", "# CSI failures"}}
+	total := 0
+	for _, p := range dataset.PairTargets() {
+		n := counts[csi.Interaction{Upstream: p.Upstream, Downstream: p.Downstream}]
+		total += n
+		t.Rows = append(t.Rows, []string{string(p.Upstream), string(p.Downstream), p.Label, fmt.Sprint(n)})
+	}
+	t.Rows = append(t.Rows, []string{"Total", "", "", fmt.Sprint(total)})
+	return t
+}
+
+// PlaneCounts tallies failures per plane (Table 2).
+func PlaneCounts(failures []dataset.Failure) map[csi.Plane]int {
+	out := map[csi.Plane]int{}
+	for i := range failures {
+		out[failures[i].Plane]++
+	}
+	return out
+}
+
+// Table2 recomputes Table 2: failures by plane.
+func Table2(failures []dataset.Failure) Table {
+	counts := PlaneCounts(failures)
+	t := Table{ID: "Table 2", Title: "Categorization by planes",
+		Header: []string{"Plane", "#", "%"}}
+	total := len(failures)
+	for _, p := range []csi.Plane{csi.ControlPlane, csi.DataPlane, csi.ManagementPlane} {
+		t.Rows = append(t.Rows, []string{p.String(), fmt.Sprint(counts[p]),
+			fmt.Sprintf("%d%%", percent(counts[p], total))})
+	}
+	t.Rows = append(t.Rows, []string{"Total", fmt.Sprint(total), "100%"})
+	return t
+}
+
+// Table3 recomputes Table 3: failure symptoms by scope.
+func Table3(failures []dataset.Failure) Table {
+	type key struct {
+		scope dataset.SymptomScope
+		name  string
+	}
+	counts := map[key]int{}
+	for i := range failures {
+		s := failures[i].Symptom
+		counts[key{s.Scope, s.Name}]++
+	}
+	t := Table{ID: "Table 3", Title: "Failure symptoms",
+		Header: []string{"Scope", "Impact", "#"}}
+	for _, row := range dataset.SymptomTargets() {
+		t.Rows = append(t.Rows, []string{row.Scope.String(), row.Name,
+			fmt.Sprint(counts[key{row.Scope, row.Name}])})
+	}
+	return t
+}
+
+// CrashingCount is Finding 3's numerator.
+func CrashingCount(failures []dataset.Failure) int {
+	n := 0
+	for i := range failures {
+		if failures[i].Symptom.Crashing {
+			n++
+		}
+	}
+	return n
+}
+
+// dataPlane filters the data-plane records.
+func dataPlane(failures []dataset.Failure) []dataset.Failure {
+	var out []dataset.Failure
+	for i := range failures {
+		if failures[i].Plane == csi.DataPlane {
+			out = append(out, failures[i])
+		}
+	}
+	return out
+}
+
+// Table4 recomputes Table 4: data properties of data-plane failures.
+func Table4(failures []dataset.Failure) Table {
+	dp := dataPlane(failures)
+	counts := map[dataset.DataProperty]int{}
+	for i := range dp {
+		counts[dp[i].DataProperty]++
+	}
+	t := Table{ID: "Table 4", Title: "Data properties in which data-plane discrepancies are rooted",
+		Header: []string{"Property", "# Fail."}}
+	t.Rows = append(t.Rows, []string{"Address", fmt.Sprint(counts[dataset.PropAddress])})
+	t.Rows = append(t.Rows, []string{"Schema", fmt.Sprint(counts[dataset.PropSchemaStructure] + counts[dataset.PropSchemaValue])})
+	t.Rows = append(t.Rows, []string{"  Structure", fmt.Sprint(counts[dataset.PropSchemaStructure])})
+	t.Rows = append(t.Rows, []string{"  Value", fmt.Sprint(counts[dataset.PropSchemaValue])})
+	t.Rows = append(t.Rows, []string{"Custom Property", fmt.Sprint(counts[dataset.PropCustom])})
+	t.Rows = append(t.Rows, []string{"API semantics", fmt.Sprint(counts[dataset.PropAPISemantics])})
+	t.Rows = append(t.Rows, []string{"Total", fmt.Sprint(len(dp))})
+	return t
+}
+
+// Table5 recomputes Table 5: the abstraction × property joint.
+func Table5(failures []dataset.Failure) Table {
+	dp := dataPlane(failures)
+	type key struct {
+		a dataset.DataAbstraction
+		p dataset.DataProperty
+	}
+	counts := map[key]int{}
+	for i := range dp {
+		counts[key{dp[i].DataAbstraction, dp[i].DataProperty}]++
+	}
+	props := []dataset.DataProperty{dataset.PropAddress, dataset.PropSchemaStructure,
+		dataset.PropSchemaValue, dataset.PropCustom, dataset.PropAPISemantics}
+	t := Table{ID: "Table 5", Title: "Data abstractions in which data-plane discrepancies are rooted",
+		Header: []string{"Abstraction", "Address", "Struct.", "Value", "Custom", "API", "Total"}}
+	colTotals := make([]int, len(props))
+	for _, a := range []dataset.DataAbstraction{dataset.AbstractionTable, dataset.AbstractionFile,
+		dataset.AbstractionStream, dataset.AbstractionKVTuple} {
+		row := []string{a.String()}
+		rowTotal := 0
+		for pi, p := range props {
+			n := counts[key{a, p}]
+			rowTotal += n
+			colTotals[pi] += n
+			row = append(row, fmt.Sprint(n))
+		}
+		row = append(row, fmt.Sprint(rowTotal))
+		t.Rows = append(t.Rows, row)
+	}
+	totalRow := []string{"Total"}
+	grand := 0
+	for _, n := range colTotals {
+		grand += n
+		totalRow = append(totalRow, fmt.Sprint(n))
+	}
+	totalRow = append(totalRow, fmt.Sprint(grand))
+	t.Rows = append(t.Rows, totalRow)
+	return t
+}
+
+// Table6 recomputes Table 6: data-plane discrepancy patterns.
+func Table6(failures []dataset.Failure) Table {
+	dp := dataPlane(failures)
+	counts := map[dataset.DataPattern]int{}
+	for i := range dp {
+		counts[dp[i].DataPattern]++
+	}
+	t := Table{ID: "Table 6", Title: "Discrepancy patterns of data-plane CSI failures",
+		Header: []string{"Pattern", "# Fail."}}
+	for _, p := range []dataset.DataPattern{dataset.TypeConfusion, dataset.UnsupportedOperations,
+		dataset.UnspokenConvention, dataset.UndefinedValues, dataset.WrongAPIAssumptions} {
+		t.Rows = append(t.Rows, []string{p.String(), fmt.Sprint(counts[p])})
+	}
+	t.Rows = append(t.Rows, []string{"Total", fmt.Sprint(len(dp))})
+	return t
+}
+
+// configFailures filters the management-plane configuration records.
+func configFailures(failures []dataset.Failure) []dataset.Failure {
+	var out []dataset.Failure
+	for i := range failures {
+		if failures[i].Plane == csi.ManagementPlane && failures[i].MgmtKind == dataset.MgmtConfig {
+			out = append(out, failures[i])
+		}
+	}
+	return out
+}
+
+// Table7 recomputes Table 7: configuration discrepancy patterns.
+func Table7(failures []dataset.Failure) Table {
+	cfg := configFailures(failures)
+	counts := map[dataset.ConfigPattern]int{}
+	for i := range cfg {
+		counts[cfg[i].ConfigPattern]++
+	}
+	t := Table{ID: "Table 7", Title: "Discrepancy patterns of configuration-related CSI failures",
+		Header: []string{"Pattern", "# Fail."}}
+	for _, p := range []dataset.ConfigPattern{dataset.ConfigIgnorance, dataset.ConfigUnexpectedOverride,
+		dataset.ConfigInconsistentContext, dataset.ConfigMishandledValues} {
+		t.Rows = append(t.Rows, []string{p.String(), fmt.Sprint(counts[p])})
+	}
+	t.Rows = append(t.Rows, []string{"Total", fmt.Sprint(len(cfg))})
+	return t
+}
+
+// controlPlaneRecords filters the control-plane records.
+func controlPlaneRecords(failures []dataset.Failure) []dataset.Failure {
+	var out []dataset.Failure
+	for i := range failures {
+		if failures[i].Plane == csi.ControlPlane {
+			out = append(out, failures[i])
+		}
+	}
+	return out
+}
+
+// Table8 recomputes Table 8: control-plane discrepancy patterns.
+func Table8(failures []dataset.Failure) Table {
+	cp := controlPlaneRecords(failures)
+	counts := map[dataset.ControlPattern]int{}
+	for i := range cp {
+		counts[cp[i].ControlPattern]++
+	}
+	t := Table{ID: "Table 8", Title: "Discrepancy patterns of control-plane CSI failures",
+		Header: []string{"Pattern", "# Fail."}}
+	for _, p := range []dataset.ControlPattern{dataset.APISemanticViolation,
+		dataset.StateResourceInconsistency, dataset.FeatureInconsistency} {
+		t.Rows = append(t.Rows, []string{p.String(), fmt.Sprint(counts[p])})
+	}
+	t.Rows = append(t.Rows, []string{"Total", fmt.Sprint(len(cp))})
+	return t
+}
+
+// Table9 recomputes Table 9: fix patterns.
+func Table9(failures []dataset.Failure) Table {
+	counts := map[dataset.FixPattern]int{}
+	for i := range failures {
+		counts[failures[i].FixPattern]++
+	}
+	t := Table{ID: "Table 9", Title: "Fix patterns of the evaluated CSI failures",
+		Header: []string{"Fix Pattern", "# Fail."}}
+	for _, p := range []dataset.FixPattern{dataset.FixChecking, dataset.FixErrorHandling,
+		dataset.FixInteraction, dataset.FixOthers} {
+		t.Rows = append(t.Rows, []string{p.String(), fmt.Sprint(counts[p])})
+	}
+	t.Rows = append(t.Rows, []string{"Total", fmt.Sprint(len(failures))})
+	return t
+}
+
+// AllTables renders Tables 1–9 in order.
+func AllTables(failures []dataset.Failure) []Table {
+	return []Table{
+		Table1(failures), Table2(failures), Table3(failures), Table4(failures),
+		Table5(failures), Table6(failures), Table7(failures), Table8(failures), Table9(failures),
+	}
+}
+
+// percent rounds half-to-even using exact integer arithmetic, matching
+// the paper's reported shares (39/120 is reported as 32%, 61/120 as
+// 51%).
+func percent(n, total int) int {
+	if total == 0 {
+		return 0
+	}
+	q, rem := n*100/total, n*100%total
+	switch {
+	case 2*rem > total:
+		return q + 1
+	case 2*rem == total && q%2 == 1:
+		return q + 1
+	default:
+		return q
+	}
+}
+
+// MedianDuration computes the median incident duration in minutes.
+func MedianDuration(incidents []dataset.Incident) int {
+	d := make([]int, len(incidents))
+	for i, inc := range incidents {
+		d[i] = inc.DurationMinutes
+	}
+	sort.Ints(d)
+	if len(d) == 0 {
+		return 0
+	}
+	if len(d)%2 == 1 {
+		return d[len(d)/2]
+	}
+	return (d[len(d)/2-1] + d[len(d)/2]) / 2
+}

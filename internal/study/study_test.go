@@ -1,0 +1,216 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func findRow(t *testing.T, table Table, first string) []string {
+	t.Helper()
+	for _, row := range table.Rows {
+		if row[0] == first {
+			return row
+		}
+	}
+	t.Fatalf("%s: row %q not found", table.ID, first)
+	return nil
+}
+
+func TestTable1Totals(t *testing.T) {
+	table := Table1(dataset.Failures())
+	if got := findRow(t, table, "Total")[3]; got != "120" {
+		t.Errorf("total = %s", got)
+	}
+	// Spot-check the largest and smallest rows.
+	for _, row := range table.Rows {
+		if row[0] == "Spark" && row[1] == "Hive" && row[3] != "26" {
+			t.Errorf("Spark-Hive = %s", row[3])
+		}
+		if row[0] == "Hive" && row[1] == "Kafka" && row[3] != "1" {
+			t.Errorf("Hive-Kafka = %s", row[3])
+		}
+	}
+}
+
+func TestTable2PlaneShares(t *testing.T) {
+	table := Table2(dataset.Failures())
+	if row := findRow(t, table, "Data"); row[1] != "61" || row[2] != "51%" {
+		t.Errorf("data row = %v", row)
+	}
+	if row := findRow(t, table, "Management"); row[1] != "39" || row[2] != "32%" {
+		t.Errorf("management row = %v", row)
+	}
+	if row := findRow(t, table, "Control"); row[1] != "20" || row[2] != "17%" {
+		t.Errorf("control row = %v", row)
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	table := Table3(dataset.Failures())
+	if len(table.Rows) != 15 {
+		t.Errorf("rows = %d", len(table.Rows))
+	}
+	text := table.Render()
+	if !strings.Contains(text, "Job/task failure") || !strings.Contains(text, "47") {
+		t.Errorf("render missing dominant symptom:\n%s", text)
+	}
+}
+
+func TestTable4Properties(t *testing.T) {
+	table := Table4(dataset.Failures())
+	cases := map[string]string{
+		"Address": "10", "Schema": "32", "  Structure": "14", "  Value": "18",
+		"Custom Property": "8", "API semantics": "11", "Total": "61",
+	}
+	for name, want := range cases {
+		if row := findRow(t, table, name); row[1] != want {
+			t.Errorf("%s = %s, want %s", name, row[1], want)
+		}
+	}
+}
+
+func TestTable5Joint(t *testing.T) {
+	table := Table5(dataset.Failures())
+	if row := findRow(t, table, "Table"); row[6] != "35" {
+		t.Errorf("table row = %v", row)
+	}
+	if row := findRow(t, table, "File"); row[6] != "18" {
+		t.Errorf("file row = %v", row)
+	}
+	if row := findRow(t, table, "Stream"); row[6] != "8" {
+		t.Errorf("stream row = %v", row)
+	}
+	if row := findRow(t, table, "KV Tuple"); row[6] != "0" {
+		t.Errorf("kv row = %v", row)
+	}
+	if row := findRow(t, table, "Total"); row[6] != "61" {
+		t.Errorf("total row = %v", row)
+	}
+}
+
+func TestTable6Patterns(t *testing.T) {
+	table := Table6(dataset.Failures())
+	cases := map[string]string{
+		"Type Confusion": "12", "Unsupported Operations": "15", "Unspoken Convention": "9",
+		"Undefined Values": "7", "Wrong API Assumptions": "18", "Total": "61",
+	}
+	for name, want := range cases {
+		if row := findRow(t, table, name); row[1] != want {
+			t.Errorf("%s = %s, want %s", name, row[1], want)
+		}
+	}
+}
+
+func TestTable7ConfigPatterns(t *testing.T) {
+	table := Table7(dataset.Failures())
+	cases := map[string]string{
+		"Ignorance": "12", "Unexpected override": "6", "Inconsistent context": "10",
+		"Mishandling configuration values": "2", "Total": "30",
+	}
+	for name, want := range cases {
+		if row := findRow(t, table, name); row[1] != want {
+			t.Errorf("%s = %s, want %s", name, row[1], want)
+		}
+	}
+}
+
+func TestTable8ControlPatterns(t *testing.T) {
+	table := Table8(dataset.Failures())
+	cases := map[string]string{
+		"API semantic violation": "13", "State/resource inconsistency": "5",
+		"Feature inconsistency": "2", "Total": "20",
+	}
+	for name, want := range cases {
+		if row := findRow(t, table, name); row[1] != want {
+			t.Errorf("%s = %s, want %s", name, row[1], want)
+		}
+	}
+}
+
+func TestTable9FixPatterns(t *testing.T) {
+	table := Table9(dataset.Failures())
+	cases := map[string]string{
+		"Checking": "38", "Error handling": "8", "Interaction": "69", "Others": "5", "Total": "120",
+	}
+	for name, want := range cases {
+		if row := findRow(t, table, name); row[1] != want {
+			t.Errorf("%s = %s, want %s", name, row[1], want)
+		}
+	}
+}
+
+// TestAllFindingsReproduce is the study's headline check: every
+// quantitative statistic in Findings 1-13 recomputes to the published
+// value from the dataset.
+func TestAllFindingsReproduce(t *testing.T) {
+	findings := Findings(dataset.Failures())
+	if len(findings) != 13 {
+		t.Fatalf("findings = %d", len(findings))
+	}
+	for _, f := range findings {
+		if !f.OK() {
+			t.Errorf("finding %d failed:\n%s", f.Number, f.Render())
+		}
+	}
+}
+
+func TestFindingRenderMarksMismatch(t *testing.T) {
+	f := Finding{Number: 99, Statement: "test", Checks: []Check{{Name: "x", Got: 1, Want: 2}}}
+	if f.OK() {
+		t.Error("finding with mismatch should not be OK")
+	}
+	if !strings.Contains(f.Render(), "MISMATCH") {
+		t.Errorf("render = %q", f.Render())
+	}
+}
+
+func TestCBSComparison(t *testing.T) {
+	csiCount, depCount, controlPct := CBSComparison()
+	if csiCount != 39 || depCount != 15 {
+		t.Errorf("cbs = %d CSI / %d dependency", csiCount, depCount)
+	}
+	if controlPct != 69 {
+		t.Errorf("control share = %d%%, want 69%%", controlPct)
+	}
+}
+
+func TestMedianDuration(t *testing.T) {
+	if got := MedianDuration(dataset.CSIIncidents()); got != 106 {
+		t.Errorf("median = %d", got)
+	}
+	if got := MedianDuration(nil); got != 0 {
+		t.Errorf("empty median = %d", got)
+	}
+	even := []dataset.Incident{{DurationMinutes: 10}, {DurationMinutes: 20}}
+	if got := MedianDuration(even); got != 15 {
+		t.Errorf("even median = %d", got)
+	}
+}
+
+func TestAllTables(t *testing.T) {
+	tables := AllTables(dataset.Failures())
+	if len(tables) != 9 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for i, table := range tables {
+		if table.ID == "" || len(table.Rows) == 0 {
+			t.Errorf("table %d is empty", i)
+		}
+		if text := table.Render(); !strings.Contains(text, table.Title) {
+			t.Errorf("table %d render missing title", i)
+		}
+	}
+}
+
+func TestPercentRounding(t *testing.T) {
+	cases := []struct{ n, total, want int }{
+		{61, 120, 51}, {39, 120, 32}, {20, 120, 17}, {11, 55, 20}, {0, 0, 0}, {1, 3, 33}, {2, 3, 67},
+	}
+	for _, c := range cases {
+		if got := percent(c.n, c.total); got != c.want {
+			t.Errorf("percent(%d, %d) = %d, want %d", c.n, c.total, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package vclock
+
+import "testing"
+
+// BenchmarkEventThroughput measures the discrete-event scheduler's
+// per-event cost — the budget the control-plane replays spend.
+func BenchmarkEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.After(int64(i%1000), func() {})
+		if i%1000 == 999 {
+			s.Run(s.Now() + 1000)
+		}
+	}
+	s.Run(s.Now() + 1000)
+}
+
+// BenchmarkNestedScheduling measures cascading event chains.
+func BenchmarkNestedScheduling(b *testing.B) {
+	s := New()
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth%100 != 0 {
+			s.After(1, chain)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		depth = 0
+		s.After(1, chain)
+		s.Run(s.Now() + 200)
+	}
+}

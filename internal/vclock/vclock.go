@@ -1,0 +1,154 @@
+// Package vclock provides a deterministic virtual clock and a
+// discrete-event scheduler. The control- and management-plane failure
+// replays (the FLINK-12342 container storm, token expiration, monitor
+// kills) are timing-dependent; running them on a virtual clock makes
+// the reproductions exact and instantaneous instead of wall-clock
+// bound and flaky.
+package vclock
+
+import "container/heap"
+
+// Sim is a discrete-event simulator. Time is in virtual milliseconds
+// starting at zero. Sim is not safe for concurrent use: simulated
+// "concurrency" is expressed by scheduling events, as in any
+// discrete-event simulation.
+type Sim struct {
+	now    int64
+	seq    int64
+	events eventQueue
+}
+
+// New returns a simulator at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in milliseconds.
+func (s *Sim) Now() int64 { return s.now }
+
+// After schedules fn to run delay milliseconds from now. Events at the
+// same instant run in scheduling order. It returns a handle that can
+// cancel the event.
+func (s *Sim) After(delay int64, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: s.now + delay, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Every schedules fn to run every interval milliseconds, starting one
+// interval from now, until the returned timer is stopped.
+func (s *Sim) Every(interval int64, fn func()) *Timer {
+	if interval <= 0 {
+		interval = 1
+	}
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		fn()
+		if t.stopped {
+			return
+		}
+		t.ev = s.After(interval, tick).ev
+	}
+	t.ev = s.After(interval, tick).ev
+	return t
+}
+
+// Run processes events until the queue is empty or virtual time would
+// exceed until. It returns the number of events processed.
+func (s *Sim) Run(until int64) int {
+	n := 0
+	for s.events.Len() > 0 {
+		ev := s.events[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// Step processes exactly one pending event, returning false when the
+// queue is empty.
+func (s *Sim) Step() bool {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of live scheduled events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	ev      *event
+	stopped bool
+}
+
+// Stop cancels the event (and, for Every timers, all future ticks).
+func (t *Timer) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+type event struct {
+	at        int64
+	seq       int64
+	fn        func()
+	cancelled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,122 @@
+package vclock
+
+import "testing"
+
+func TestAfterOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.After(30, func() { got = append(got, 3) })
+	s.After(10, func() { got = append(got, 1) })
+	s.After(20, func() { got = append(got, 2) })
+	s.Run(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 100 {
+		t.Errorf("now = %d", s.Now())
+	}
+}
+
+func TestSameInstantRunsInScheduleOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.After(5, func() { got = append(got, 1) })
+	s.After(5, func() { got = append(got, 2) })
+	s.Run(5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(50, func() { fired = true })
+	n := s.Run(49)
+	if n != 0 || fired {
+		t.Error("event beyond horizon fired")
+	}
+	s.Run(50)
+	if !fired {
+		t.Error("event at horizon did not fire")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	count := 0
+	timer := s.Every(10, func() {
+		count++
+		if count == 3 {
+			// Stop from within the callback.
+			return
+		}
+	})
+	s.Run(35)
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	timer.Stop()
+	s.After(100, func() {}) // keep the queue busy past the tick
+	s.Run(200)
+	if count != 3 {
+		t.Errorf("ticks after Stop: count = %d", count)
+	}
+}
+
+func TestTimerStopCancelsPending(t *testing.T) {
+	s := New()
+	fired := false
+	timer := s.After(10, func() { fired = true })
+	timer.Stop()
+	s.Run(100)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var got []int64
+	s.After(10, func() {
+		got = append(got, s.Now())
+		s.After(5, func() { got = append(got, s.Now()) })
+	})
+	s.Run(100)
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Errorf("times = %v", got)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	count := 0
+	s.After(10, func() { count++ })
+	s.After(20, func() { count++ })
+	if !s.Step() || count != 1 || s.Now() != 10 {
+		t.Errorf("after first step: count=%d now=%d", count, s.Now())
+	}
+	if !s.Step() || count != 2 {
+		t.Errorf("after second step: count=%d", count)
+	}
+	if s.Step() {
+		t.Error("step on empty queue should return false")
+	}
+}
+
+func TestNegativeDelayRunsImmediately(t *testing.T) {
+	s := New()
+	s.Run(10)
+	fired := false
+	s.After(-5, func() { fired = true })
+	s.Run(10)
+	if !fired {
+		t.Error("negative delay should clamp to now")
+	}
+	if s.Now() != 10 {
+		t.Errorf("time moved backwards: %d", s.Now())
+	}
+}

@@ -1,0 +1,119 @@
+package yarnsim
+
+import "fmt"
+
+// Application status reporting models the monitoring half of the
+// management plane: YARN tracks each application's final status as
+// reported by the application master. Two of the study's
+// monitoring-plane CSI failures live exactly here:
+//
+//   - SPARK-3627: Spark reported SUCCEEDED to YARN for failed jobs, so
+//     YARN's records disagreed with reality;
+//   - SPARK-10851: Spark's R runner exited without reporting any final
+//     status, so YARN saw an undefined outcome — reduced observability.
+
+// AppStatus is an application's final status as YARN records it.
+type AppStatus int
+
+// The status values.
+const (
+	AppUndefined AppStatus = iota // never reported (the SPARK-10851 hole)
+	AppSucceeded
+	AppFailed
+	AppKilled
+)
+
+// String names the status.
+func (s AppStatus) String() string {
+	switch s {
+	case AppSucceeded:
+		return "SUCCEEDED"
+	case AppFailed:
+		return "FAILED"
+	case AppKilled:
+		return "KILLED"
+	default:
+		return "UNDEFINED"
+	}
+}
+
+// Application is a YARN application registration.
+type Application struct {
+	ID          int64
+	Name        string
+	Finished    bool
+	FinalStatus AppStatus
+	Diagnostics string
+}
+
+// SubmitApplication registers a new application.
+func (rm *ResourceManager) SubmitApplication(name string) *Application {
+	rm.nextID++
+	app := &Application{ID: rm.nextID, Name: name}
+	if rm.apps == nil {
+		rm.apps = make(map[int64]*Application)
+	}
+	rm.apps[app.ID] = app
+	return app
+}
+
+// ReportFinalStatus is the unregister call an application master makes
+// when it completes.
+func (rm *ResourceManager) ReportFinalStatus(id int64, status AppStatus, diagnostics string) error {
+	app, ok := rm.apps[id]
+	if !ok {
+		return fmt.Errorf("yarn: unknown application %d", id)
+	}
+	app.Finished = true
+	app.FinalStatus = status
+	app.Diagnostics = diagnostics
+	return nil
+}
+
+// ApplicationStatus returns YARN's view of the application.
+func (rm *ResourceManager) ApplicationStatus(id int64) (AppStatus, bool, error) {
+	app, ok := rm.apps[id]
+	if !ok {
+		return AppUndefined, false, fmt.Errorf("yarn: unknown application %d", id)
+	}
+	return app.FinalStatus, app.Finished, nil
+}
+
+// DriverReporting selects how an upstream driver reports its outcome to
+// YARN — the discrepancy axis of the monitoring failures.
+type DriverReporting int
+
+// The three reporting behaviours.
+const (
+	// ReportAccurately: the fixed behaviour.
+	ReportAccurately DriverReporting = iota
+	// ReportAlwaysSuccess is the SPARK-3627 defect: the driver
+	// unconditionally unregisters with SUCCEEDED.
+	ReportAlwaysSuccess
+	// ReportNothing is the SPARK-10851 defect: the runner exits silently
+	// without unregistering.
+	ReportNothing
+)
+
+// RunDriver simulates an upstream job that either succeeds or fails,
+// reporting to YARN per the given behaviour. It returns YARN's recorded
+// status — compare it with jobFailed to observe the discrepancy.
+func (rm *ResourceManager) RunDriver(name string, jobFailed bool, reporting DriverReporting) (AppStatus, bool) {
+	app := rm.SubmitApplication(name)
+	switch reporting {
+	case ReportAlwaysSuccess:
+		_ = rm.ReportFinalStatus(app.ID, AppSucceeded, "")
+	case ReportNothing:
+		// The runner exits without unregistering.
+	default:
+		status := AppSucceeded
+		diag := ""
+		if jobFailed {
+			status = AppFailed
+			diag = name + ": user code raised an exception"
+		}
+		_ = rm.ReportFinalStatus(app.ID, status, diag)
+	}
+	status, finished, _ := rm.ApplicationStatus(app.ID)
+	return status, finished
+}

@@ -1,0 +1,338 @@
+// Package yarnsim simulates a YARN ResourceManager with the
+// cross-system-visible behaviours behind the paper's control- and
+// management-plane CSI failures:
+//
+//   - container allocation is asynchronous with a per-container
+//     latency, so a client that assumes the request/response cycle
+//     completes within its polling interval re-requests pending
+//     containers and floods the RM (FLINK-12342, Figure 1);
+//   - two schedulers interpret the resource configuration keys
+//     differently: the capacity scheduler reads
+//     yarn.scheduler.minimum-allocation-mb while the fair scheduler
+//     reads yarn.resource-types.memory-mb.increment-allocation
+//     (FLINK-19141, Figure 3);
+//   - a pmem monitor kills containers whose processes exceed their
+//     requested memory (FLINK-887);
+//   - the cluster-metrics API is only served in RM modes that
+//     support it (YARN-9724).
+//
+// The simulator runs on a vclock.Sim discrete-event scheduler so the
+// timing-dependent failures replay deterministically.
+package yarnsim
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/vclock"
+)
+
+// SchedulerKind selects the RM's scheduler implementation.
+type SchedulerKind int
+
+// The two schedulers with inconsistent configuration semantics.
+const (
+	CapacityScheduler SchedulerKind = iota
+	FairScheduler
+)
+
+// String names the scheduler.
+func (k SchedulerKind) String() string {
+	if k == FairScheduler {
+		return "fair"
+	}
+	return "capacity"
+}
+
+// Configuration keys read by the schedulers. The overlap-free key sets
+// are the FLINK-19141 discrepancy: a client that configures one
+// scheduler's keys silently misconfigures the other.
+const (
+	// KeyMinAllocMB / KeyMinAllocVcores are read by the capacity
+	// scheduler: requests are rounded up to multiples of these.
+	KeyMinAllocMB     = "yarn.scheduler.minimum-allocation-mb"
+	KeyMinAllocVcores = "yarn.scheduler.minimum-allocation-vcores"
+	// KeyIncAllocMB / KeyIncAllocVcores are read by the fair scheduler.
+	KeyIncAllocMB     = "yarn.resource-types.memory-mb.increment-allocation"
+	KeyIncAllocVcores = "yarn.resource-types.vcores.increment-allocation"
+	// KeyMaxAllocMB caps a single allocation for both schedulers.
+	KeyMaxAllocMB = "yarn.scheduler.maximum-allocation-mb"
+	// KeySchedulerClass selects the scheduler implementation.
+	KeySchedulerClass = "yarn.resourcemanager.scheduler.class"
+)
+
+// Resource is a container resource ask.
+type Resource struct {
+	MemoryMB int64
+	Vcores   int64
+}
+
+// Container is a granted allocation.
+type Container struct {
+	ID        int64
+	Resource  Resource
+	StartedMs int64
+	// PmemUsedMB is the simulated physical memory used by the
+	// container's process tree (JVM heap + overhead).
+	PmemUsedMB int64
+	Killed     bool
+	KillReason string
+}
+
+// AllocationError reports an allocation the scheduler cannot satisfy.
+type AllocationError struct {
+	Ask    Resource
+	Max    Resource
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *AllocationError) Error() string {
+	return fmt.Sprintf("yarn: could not allocate the required resource (ask %d MB / %d vcores): %s",
+		e.Ask.MemoryMB, e.Ask.Vcores, e.Reason)
+}
+
+// Config is a YARN-side configuration map.
+type Config map[string]string
+
+func (c Config) int64(key string, def int64) int64 {
+	if v, ok := c[key]; ok {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// ResourceManager is the simulated RM.
+type ResourceManager struct {
+	sim    *vclock.Sim
+	conf   Config
+	sched  SchedulerKind
+	nextID int64
+
+	// AllocLatencyMs is the virtual time to allocate one container.
+	AllocLatencyMs int64
+
+	capacityMB int64
+	usedMB     int64
+
+	containers map[int64]*Container
+	apps       map[int64]*Application
+
+	// allocFreeAtMs is when the (serialized) allocator thread becomes
+	// free; queued requests pile up behind it, which is how a request
+	// storm overloads the RM.
+	allocFreeAtMs int64
+
+	// counters for the Figure 1 / Table metrics
+	requestsReceived   int64
+	containersGranted  int64
+	allocationFailures int64
+	pmemKills          int64
+
+	pmemMonitor *vclock.Timer
+	metricsMode bool
+}
+
+// Options configure a ResourceManager.
+type Options struct {
+	Conf Config
+	// ClusterMemoryMB is the total schedulable memory (default 1 TiB).
+	ClusterMemoryMB int64
+	// AllocLatencyMs is the per-container allocation latency
+	// (default 200 ms, the Figure 1 hazard when > client interval / C).
+	AllocLatencyMs int64
+	// ServeClusterMetrics enables the getYarnClusterMetrics API
+	// (absent in some RM modes — YARN-9724).
+	ServeClusterMetrics bool
+}
+
+// New creates a ResourceManager on the virtual clock.
+func New(sim *vclock.Sim, opts Options) *ResourceManager {
+	conf := opts.Conf
+	if conf == nil {
+		conf = Config{}
+	}
+	sched := CapacityScheduler
+	if conf[KeySchedulerClass] == "fair" {
+		sched = FairScheduler
+	}
+	capMB := opts.ClusterMemoryMB
+	if capMB == 0 {
+		capMB = 1 << 20 // 1 TiB in MB
+	}
+	lat := opts.AllocLatencyMs
+	if lat == 0 {
+		lat = 200
+	}
+	return &ResourceManager{
+		sim:            sim,
+		conf:           conf,
+		sched:          sched,
+		AllocLatencyMs: lat,
+		capacityMB:     capMB,
+		containers:     make(map[int64]*Container),
+		metricsMode:    opts.ServeClusterMetrics,
+	}
+}
+
+// Scheduler returns the active scheduler kind.
+func (rm *ResourceManager) Scheduler() SchedulerKind { return rm.sched }
+
+// normalize rounds an ask up to the scheduler's allocation granularity.
+// This is where the configuration discrepancy bites: each scheduler
+// consults its own keys and ignores the other's.
+func (rm *ResourceManager) normalize(ask Resource) (Resource, error) {
+	roundUp := func(v, unit int64) int64 {
+		if unit <= 0 {
+			return v
+		}
+		return (v + unit - 1) / unit * unit
+	}
+	var unitMB, unitVC int64
+	switch rm.sched {
+	case CapacityScheduler:
+		unitMB = rm.conf.int64(KeyMinAllocMB, 1024)
+		unitVC = rm.conf.int64(KeyMinAllocVcores, 1)
+	case FairScheduler:
+		unitMB = rm.conf.int64(KeyIncAllocMB, 1024)
+		unitVC = rm.conf.int64(KeyIncAllocVcores, 1)
+	}
+	out := Resource{MemoryMB: roundUp(ask.MemoryMB, unitMB), Vcores: roundUp(ask.Vcores, unitVC)}
+	maxMB := rm.conf.int64(KeyMaxAllocMB, 8192)
+	if out.MemoryMB > maxMB {
+		return Resource{}, &AllocationError{
+			Ask: out, Max: Resource{MemoryMB: maxMB},
+			Reason: fmt.Sprintf("normalized ask %d MB exceeds %s=%d under the %s scheduler",
+				out.MemoryMB, KeyMaxAllocMB, maxMB, rm.sched),
+		}
+	}
+	return out, nil
+}
+
+// RequestContainers asks the RM for n containers of the given resource.
+// The call returns immediately; each granted container is delivered to
+// onAllocated after the allocation latency elapses. Allocation errors
+// are delivered to onError.
+func (rm *ResourceManager) RequestContainers(n int, ask Resource,
+	onAllocated func(*Container), onError func(error)) {
+	rm.requestsReceived += int64(n)
+	norm, err := rm.normalize(ask)
+	if err != nil {
+		rm.allocationFailures += int64(n)
+		if onError != nil {
+			onError(err)
+		}
+		return
+	}
+	if rm.allocFreeAtMs < rm.sim.Now() {
+		rm.allocFreeAtMs = rm.sim.Now()
+	}
+	for i := 0; i < n; i++ {
+		// Allocation work is serialized in the scheduler: each request
+		// queues behind everything already pending.
+		rm.allocFreeAtMs += rm.AllocLatencyMs
+		delay := rm.allocFreeAtMs - rm.sim.Now()
+		rm.sim.After(delay, func() {
+			if rm.usedMB+norm.MemoryMB > rm.capacityMB {
+				rm.allocationFailures++
+				if onError != nil {
+					onError(&AllocationError{Ask: norm, Reason: "cluster out of memory"})
+				}
+				return
+			}
+			rm.nextID++
+			c := &Container{ID: rm.nextID, Resource: norm, StartedMs: rm.sim.Now()}
+			rm.usedMB += norm.MemoryMB
+			rm.containers[c.ID] = c
+			rm.containersGranted++
+			if onAllocated != nil {
+				onAllocated(c)
+			}
+		})
+	}
+}
+
+// Release returns a container's resources to the cluster.
+func (rm *ResourceManager) Release(id int64) {
+	if c, ok := rm.containers[id]; ok {
+		rm.usedMB -= c.Resource.MemoryMB
+		delete(rm.containers, id)
+	}
+}
+
+// SetContainerPmem records the physical memory used by a container's
+// process tree, as the NodeManager's monitor would observe it.
+func (rm *ResourceManager) SetContainerPmem(id int64, usedMB int64) {
+	if c, ok := rm.containers[id]; ok {
+		c.PmemUsedMB = usedMB
+	}
+}
+
+// StartPmemMonitor begins the periodic physical-memory check: any
+// container whose process tree exceeds its requested memory is killed
+// (the FLINK-887 failure when the client's JVM sizing ignores
+// overhead).
+func (rm *ResourceManager) StartPmemMonitor(intervalMs int64, onKill func(*Container)) {
+	rm.pmemMonitor = rm.sim.Every(intervalMs, func() {
+		for _, c := range rm.containers {
+			if c.Killed || c.PmemUsedMB <= c.Resource.MemoryMB {
+				continue
+			}
+			c.Killed = true
+			c.KillReason = fmt.Sprintf(
+				"Container [%d] is running beyond physical memory limits: %d MB used, %d MB requested. Killing container.",
+				c.ID, c.PmemUsedMB, c.Resource.MemoryMB)
+			rm.pmemKills++
+			rm.Release(c.ID)
+			if onKill != nil {
+				onKill(c)
+			}
+		}
+	})
+}
+
+// StopPmemMonitor stops the monitor.
+func (rm *ResourceManager) StopPmemMonitor() {
+	if rm.pmemMonitor != nil {
+		rm.pmemMonitor.Stop()
+	}
+}
+
+// ClusterMetrics is the subset of metrics the YARN-9724 API exposes.
+type ClusterMetrics struct {
+	Containers int
+	UsedMB     int64
+	CapacityMB int64
+}
+
+// GetClusterMetrics returns cluster metrics, or an error when the RM
+// mode does not serve the API (YARN-9724: upstreams assumed its
+// availability in all modes).
+func (rm *ResourceManager) GetClusterMetrics() (ClusterMetrics, error) {
+	if !rm.metricsMode {
+		return ClusterMetrics{}, fmt.Errorf("yarn: getClusterMetrics is not supported in this ResourceManager mode")
+	}
+	return ClusterMetrics{Containers: len(rm.containers), UsedMB: rm.usedMB, CapacityMB: rm.capacityMB}, nil
+}
+
+// Stats are the RM's lifetime counters.
+type Stats struct {
+	RequestsReceived   int64
+	ContainersGranted  int64
+	AllocationFailures int64
+	PmemKills          int64
+	LiveContainers     int
+}
+
+// Stats returns a snapshot of the counters.
+func (rm *ResourceManager) Stats() Stats {
+	return Stats{
+		RequestsReceived:   rm.requestsReceived,
+		ContainersGranted:  rm.containersGranted,
+		AllocationFailures: rm.allocationFailures,
+		PmemKills:          rm.pmemKills,
+		LiveContainers:     len(rm.containers),
+	}
+}

@@ -1,0 +1,251 @@
+package yarnsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestAllocationDeliveredAfterLatency(t *testing.T) {
+	sim := vclock.New()
+	rm := New(sim, Options{AllocLatencyMs: 100})
+	var got []*Container
+	rm.RequestContainers(3, Resource{MemoryMB: 1024, Vcores: 1},
+		func(c *Container) { got = append(got, c) }, nil)
+	sim.Run(250)
+	if len(got) != 2 {
+		t.Fatalf("allocated at 250ms = %d, want 2 (serialized allocator)", len(got))
+	}
+	sim.Run(300)
+	if len(got) != 3 {
+		t.Fatalf("allocated at 300ms = %d, want 3", len(got))
+	}
+	if got[0].StartedMs != 100 || got[2].StartedMs != 300 {
+		t.Errorf("start times = %d, %d", got[0].StartedMs, got[2].StartedMs)
+	}
+}
+
+func TestAllocatorSerializesAcrossRequests(t *testing.T) {
+	sim := vclock.New()
+	rm := New(sim, Options{AllocLatencyMs: 100})
+	var times []int64
+	cb := func(c *Container) { times = append(times, c.StartedMs) }
+	rm.RequestContainers(2, Resource{MemoryMB: 512}, cb, nil)
+	sim.Run(50)
+	rm.RequestContainers(1, Resource{MemoryMB: 512}, cb, nil)
+	sim.Run(1000)
+	if len(times) != 3 || times[2] != 300 {
+		t.Errorf("times = %v, third should queue behind the first two", times)
+	}
+}
+
+func TestCapacitySchedulerRoundsUpToMinAlloc(t *testing.T) {
+	sim := vclock.New()
+	rm := New(sim, Options{Conf: Config{KeyMinAllocMB: "1024", KeyMaxAllocMB: "8192"}})
+	var got *Container
+	rm.RequestContainers(1, Resource{MemoryMB: 100, Vcores: 1}, func(c *Container) { got = c }, nil)
+	sim.Run(10000)
+	if got == nil || got.Resource.MemoryMB != 1024 {
+		t.Fatalf("container = %+v", got)
+	}
+}
+
+func TestFairSchedulerReadsDifferentKeys(t *testing.T) {
+	// FLINK-19141 / Figure 3: the min-alloc keys configured for the
+	// capacity scheduler are ignored by the fair scheduler, whose own
+	// increment keys are unset and default to 1024 — so a request that
+	// fits under the capacity scheduler's tuning fails under fair.
+	conf := Config{
+		KeySchedulerClass: "fair",
+		KeyMinAllocMB:     "128", // the key the operator tuned — ignored
+		KeyMaxAllocMB:     "1500",
+	}
+	sim := vclock.New()
+	rm := New(sim, Options{Conf: conf})
+	if rm.Scheduler() != FairScheduler {
+		t.Fatal("scheduler should be fair")
+	}
+	var errs []error
+	rm.RequestContainers(1, Resource{MemoryMB: 1100, Vcores: 1}, nil, func(err error) { errs = append(errs, err) })
+	sim.Run(10000)
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v", errs)
+	}
+	var ae *AllocationError
+	if !errors.As(errs[0], &ae) || !strings.Contains(ae.Error(), "could not allocate") {
+		t.Errorf("err = %v", errs[0])
+	}
+	// The same request under the capacity scheduler (which honours the
+	// tuned key) succeeds: 1100 rounds to 1152 < 1500.
+	conf2 := Config{KeyMinAllocMB: "128", KeyMaxAllocMB: "1500"}
+	sim2 := vclock.New()
+	rm2 := New(sim2, Options{Conf: conf2})
+	var ok *Container
+	rm2.RequestContainers(1, Resource{MemoryMB: 1100, Vcores: 1}, func(c *Container) { ok = c }, nil)
+	sim2.Run(10000)
+	if ok == nil || ok.Resource.MemoryMB != 1152 {
+		t.Errorf("capacity alloc = %+v", ok)
+	}
+	// Configuring the fair scheduler's own key resolves it.
+	conf3 := Config{KeySchedulerClass: "fair", KeyIncAllocMB: "128", KeyMaxAllocMB: "1500"}
+	sim3 := vclock.New()
+	rm3 := New(sim3, Options{Conf: conf3})
+	var ok3 *Container
+	rm3.RequestContainers(1, Resource{MemoryMB: 1100, Vcores: 1}, func(c *Container) { ok3 = c }, nil)
+	sim3.Run(10000)
+	if ok3 == nil {
+		t.Error("fair scheduler with its own key should allocate")
+	}
+}
+
+func TestReleaseReturnsCapacity(t *testing.T) {
+	sim := vclock.New()
+	rm := New(sim, Options{ClusterMemoryMB: 2048, AllocLatencyMs: 10})
+	var ids []int64
+	rm.RequestContainers(2, Resource{MemoryMB: 1024, Vcores: 1}, func(c *Container) { ids = append(ids, c.ID) }, nil)
+	sim.Run(1000)
+	if len(ids) != 2 {
+		t.Fatalf("allocated = %d", len(ids))
+	}
+	// Cluster full: next request fails.
+	var failed error
+	rm.RequestContainers(1, Resource{MemoryMB: 1024, Vcores: 1}, nil, func(err error) { failed = err })
+	sim.Run(2000)
+	if failed == nil {
+		t.Fatal("expected out-of-memory failure")
+	}
+	rm.Release(ids[0])
+	var ok *Container
+	rm.RequestContainers(1, Resource{MemoryMB: 1024, Vcores: 1}, func(c *Container) { ok = c }, nil)
+	sim.Run(3000)
+	if ok == nil {
+		t.Error("allocation after release should succeed")
+	}
+}
+
+func TestPmemMonitorKillsOverLimitContainers(t *testing.T) {
+	// FLINK-887: the pmem monitor kills containers whose process tree
+	// exceeds the requested memory.
+	sim := vclock.New()
+	rm := New(sim, Options{AllocLatencyMs: 10})
+	var c *Container
+	rm.RequestContainers(1, Resource{MemoryMB: 1024, Vcores: 1}, func(got *Container) { c = got }, nil)
+	sim.Run(100)
+	if c == nil {
+		t.Fatal("no container")
+	}
+	var killed *Container
+	rm.StartPmemMonitor(100, func(k *Container) { killed = k })
+	rm.SetContainerPmem(c.ID, 1024+256)
+	sim.Run(500)
+	if killed == nil || killed.ID != c.ID {
+		t.Fatalf("killed = %+v", killed)
+	}
+	if !strings.Contains(killed.KillReason, "beyond physical memory limits") {
+		t.Errorf("reason = %q", killed.KillReason)
+	}
+	if rm.Stats().PmemKills != 1 || rm.Stats().LiveContainers != 0 {
+		t.Errorf("stats = %+v", rm.Stats())
+	}
+	rm.StopPmemMonitor()
+}
+
+func TestPmemMonitorSparesWithinLimit(t *testing.T) {
+	sim := vclock.New()
+	rm := New(sim, Options{AllocLatencyMs: 10})
+	var c *Container
+	rm.RequestContainers(1, Resource{MemoryMB: 1024, Vcores: 1}, func(got *Container) { c = got }, nil)
+	sim.Run(100)
+	rm.SetContainerPmem(c.ID, 1000)
+	killed := 0
+	rm.StartPmemMonitor(100, func(*Container) { killed++ })
+	sim.Run(1000)
+	if killed != 0 {
+		t.Errorf("killed = %d", killed)
+	}
+}
+
+func TestClusterMetricsAPIModeGated(t *testing.T) {
+	// YARN-9724: the metrics API is not served in every RM mode.
+	sim := vclock.New()
+	rm := New(sim, Options{ServeClusterMetrics: false})
+	if _, err := rm.GetClusterMetrics(); err == nil {
+		t.Error("metrics should be unavailable")
+	}
+	rm2 := New(sim, Options{ServeClusterMetrics: true, AllocLatencyMs: 10})
+	rm2.RequestContainers(1, Resource{MemoryMB: 512, Vcores: 1}, nil, nil)
+	sim.Run(100)
+	m, err := rm2.GetClusterMetrics()
+	if err != nil || m.Containers != 1 {
+		t.Errorf("metrics = %+v, %v", m, err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	sim := vclock.New()
+	rm := New(sim, Options{AllocLatencyMs: 10})
+	rm.RequestContainers(5, Resource{MemoryMB: 512, Vcores: 1}, nil, nil)
+	sim.Run(1000)
+	s := rm.Stats()
+	if s.RequestsReceived != 5 || s.ContainersGranted != 5 || s.AllocationFailures != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDriverReportingAccurate(t *testing.T) {
+	sim := vclock.New()
+	rm := New(sim, Options{})
+	status, finished := rm.RunDriver("job-ok", false, ReportAccurately)
+	if status != AppSucceeded || !finished {
+		t.Errorf("success = %v/%v", status, finished)
+	}
+	status, finished = rm.RunDriver("job-bad", true, ReportAccurately)
+	if status != AppFailed || !finished {
+		t.Errorf("failure = %v/%v", status, finished)
+	}
+}
+
+func TestDriverReportsSuccessForFailedJob(t *testing.T) {
+	// SPARK-3627: the driver unconditionally unregisters with SUCCEEDED,
+	// so YARN's monitoring disagrees with reality.
+	sim := vclock.New()
+	rm := New(sim, Options{})
+	status, finished := rm.RunDriver("job-bad", true, ReportAlwaysSuccess)
+	if status != AppSucceeded || !finished {
+		t.Errorf("got %v/%v; the defect reports SUCCEEDED for a failed job", status, finished)
+	}
+}
+
+func TestDriverExitsSilently(t *testing.T) {
+	// SPARK-10851: the runner never unregisters — YARN's record stays
+	// UNDEFINED and unfinished (reduced observability).
+	sim := vclock.New()
+	rm := New(sim, Options{})
+	status, finished := rm.RunDriver("r-job", true, ReportNothing)
+	if status != AppUndefined || finished {
+		t.Errorf("got %v/%v; the defect leaves the status undefined", status, finished)
+	}
+}
+
+func TestApplicationStatusUnknownApp(t *testing.T) {
+	sim := vclock.New()
+	rm := New(sim, Options{})
+	if _, _, err := rm.ApplicationStatus(42); err == nil {
+		t.Error("unknown app should error")
+	}
+	if err := rm.ReportFinalStatus(42, AppSucceeded, ""); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestAppStatusStrings(t *testing.T) {
+	for s, want := range map[AppStatus]string{
+		AppUndefined: "UNDEFINED", AppSucceeded: "SUCCEEDED", AppFailed: "FAILED", AppKilled: "KILLED",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", int(s), s.String())
+		}
+	}
+}
