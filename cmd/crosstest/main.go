@@ -6,20 +6,29 @@
 // Usage:
 //
 //	crosstest [-family ss|sh|hs] [-conf key=value]... [-failures N] [-inputs prefix]
+//	          [-trace dir] [-metrics file]
 //
 // The -conf flag applies a deployment configuration before testing —
 // "testing systems under the deployment configuration" — so the effect
 // of the fix configurations on the report can be observed directly.
+//
+// -trace records a causal span for every cross-system hop of every
+// case and writes them to <dir>/spans.jsonl; -failures output then
+// includes each failure's reconstructed propagation chain. -metrics
+// writes harness counters (per-plan, per-oracle, durations) in
+// Prometheus text format ("-" for stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/inject"
+	"repro/internal/obs"
 )
 
 type confFlags map[string]string
@@ -45,6 +54,8 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep the fix configurations and diff the discrepancy profiles")
 	partitions := flag.Bool("partitions", false, "also run the partitioned-table mode (candidate new discrepancies)")
 	logsDir := flag.String("logs", "", "write per-oracle failure logs (<family>_<oracle>_failed.json) to this directory")
+	traceDir := flag.String("trace", "", "record causal spans and write them to <dir>/spans.jsonl")
+	metricsFile := flag.String("metrics", "", "write Prometheus-text harness metrics to this file (\"-\" for stdout)")
 	flag.Var(conf, "conf", "Spark configuration override, key=value (repeatable)")
 	flag.Parse()
 
@@ -65,6 +76,12 @@ func main() {
 	opts := core.RunOptions{SparkConf: conf, Parallel: *parallel}
 	if *family != "" {
 		opts.Families = []string{*family}
+	}
+	if *traceDir != "" {
+		opts.Tracer = obs.NewTracer(nil)
+	}
+	if *metricsFile != "" {
+		opts.Metrics = obs.NewRegistry()
 	}
 
 	fmt.Printf("Running cross-test: %d inputs x %d plans x 3 formats\n\n", len(corpus), plansIn(opts))
@@ -91,6 +108,23 @@ func main() {
 				break
 			}
 			fmt.Printf("  [%s] %s: %s\n", f.Oracle, f.Case.Describe(), f.Detail)
+			if f.Chain != "" {
+				fmt.Printf("      propagation: %s\n", f.Chain)
+			}
+		}
+	}
+
+	if *traceDir != "" {
+		if err := writeSpans(opts.Tracer, *traceDir); err != nil {
+			fmt.Fprintf(os.Stderr, "crosstest: writing spans: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nWrote %d spans to %s\n", opts.Tracer.Len(), filepath.Join(*traceDir, "spans.jsonl"))
+	}
+	if *metricsFile != "" {
+		if err := writeMetrics(opts.Metrics, *metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "crosstest: writing metrics: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if unknown := result.Report.UnknownSignatures(); len(unknown) > 0 {
@@ -142,6 +176,30 @@ func main() {
 		fmt.Printf("\nWide-table mode (%d columns, one table per plan and format): %d failures, %d distinct discrepancies %v\n",
 			len(wres.Columns), len(wres.Failures), len(wres.Report.DistinctKnown()), wres.Report.DistinctKnown())
 	}
+}
+
+func writeSpans(tr *obs.Tracer, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "spans.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteSpans(f)
+}
+
+func writeMetrics(reg *obs.Registry, dest string) error {
+	if dest == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WritePrometheus(f)
 }
 
 func plansIn(opts core.RunOptions) int {

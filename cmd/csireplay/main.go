@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	csireplay [scenario]
+//	csireplay [-trace dir] [-metrics file] [scenario]
 //
 // Scenarios: storm, filesize, scheduler, pmem, token, safemode,
 // offsets, quota, redundancy.
 // With no argument, every scenario is replayed.
+//
+// The three §2.3 scenarios print the cross-system propagation chain
+// reconstructed from their span trees. -trace writes each traced
+// scenario's spans to <dir>/<scenario>.jsonl; -metrics writes
+// scenario run counters in Prometheus text format ("-" for stdout).
 package main
 
 import (
@@ -17,10 +22,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/flinksim"
 	"repro/internal/hbasesim"
+	"repro/internal/obs"
 	"repro/internal/quotasim"
 	"repro/internal/redundancy"
 	"repro/internal/replay"
@@ -29,9 +36,19 @@ import (
 	"repro/internal/yarnsim"
 )
 
+var (
+	traceDir    = flag.String("trace", "", "directory to write per-scenario span JSONL files to")
+	metricsFile = flag.String("metrics", "", "file to write Prometheus-text scenario metrics to (\"-\" for stdout)")
+
+	registry *obs.Registry
+)
+
 func main() {
 	flag.Parse()
 	which := flag.Arg(0)
+	if *metricsFile != "" {
+		registry = obs.NewRegistry()
+	}
 	scenarios := []struct {
 		name string
 		run  func()
@@ -50,6 +67,7 @@ func main() {
 	for _, s := range scenarios {
 		if which == "" || which == s.name {
 			s.run()
+			registry.Counter("csireplay_scenario_runs_total", "scenario", s.name).Inc()
 			fmt.Println()
 			ran = true
 		}
@@ -57,6 +75,48 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "csireplay: unknown scenario %q\n", which)
 		os.Exit(2)
+	}
+	if registry != nil {
+		if err := writeMetrics(registry, *metricsFile); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeMetrics(reg *obs.Registry, dest string) error {
+	if dest == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WritePrometheus(f)
+}
+
+// propagation prints the §2.3 scenario's cross-system chain and, with
+// -trace, writes the span tree to <dir>/<name>.jsonl.
+func propagation(name string) {
+	tr, err := replay.Scenario23Trace(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  propagation: %s\n", obs.RenderChain(tr.Chain(nil)))
+	registry.Counter("csireplay_spans_total", "scenario", name).Add(int64(tr.Len()))
+	if *traceDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(*traceDir, name+".jsonl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteSpans(f); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -66,6 +126,7 @@ func storm() {
 	for _, r := range replay.FixLadder() {
 		fmt.Println("  " + r.String())
 	}
+	propagation("storm")
 }
 
 func filesize() {
@@ -76,6 +137,7 @@ func filesize() {
 	if data, err := replay.CompressedFileRead(true, true); err == nil {
 		fmt.Printf("  fixed check (length >= -1):   read %d bytes\n", len(data))
 	}
+	propagation("filesize")
 }
 
 func scheduler() {
@@ -90,6 +152,7 @@ func scheduler() {
 	if err := replay.SchedulerMismatch("fair", map[string]string{yarnsim.KeyIncAllocMB: "128"}); err == nil {
 		fmt.Println("  fair scheduler + increment-allocation keys: allocation OK")
 	}
+	propagation("scheduler")
 }
 
 func pmem() {

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/csi"
 	"repro/internal/hdfssim"
 	"repro/internal/hivesim"
+	"repro/internal/obs"
 	"repro/internal/serde"
 	"repro/internal/sparksim"
 	"repro/internal/sqlval"
@@ -60,15 +62,37 @@ type ReadOutcome struct {
 	Column   string
 }
 
+// SetTracer attaches an observability tracer to both engines; spans
+// are threaded per call through WriteSpan/ReadSpan, so concurrent
+// harness workers sharing the deployment stay race-free.
+func (d *Deployment) SetTracer(tr *obs.Tracer) {
+	d.Spark.SetTracer(tr)
+	d.Hive.SetTracer(tr)
+}
+
+// IfaceSystem maps an interface to the system that executes it.
+func IfaceSystem(iface Iface) csi.System {
+	if iface == HiveQL {
+		return csi.Hive
+	}
+	return csi.Spark
+}
+
 // Write creates the table through the interface's native DDL path and
 // inserts the input.
 func (d *Deployment) Write(iface Iface, table, format string, in Input) WriteOutcome {
+	return d.WriteSpan(nil, iface, table, format, in)
+}
+
+// WriteSpan is Write under an explicit parent span: each engine call
+// emits its span tree as a child of parent.
+func (d *Deployment) WriteSpan(parent *obs.Span, iface Iface, table, format string, in Input) WriteOutcome {
 	switch iface {
 	case SparkSQL:
-		if _, err := d.Spark.SQL(fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
+		if _, err := d.Spark.SQLSpan(parent, fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
 			return WriteOutcome{Err: err}
 		}
-		res, err := d.Spark.SQL(fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
+		res, err := d.Spark.SQLSpan(parent, fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
 		if err != nil {
 			return WriteOutcome{Err: err}
 		}
@@ -79,12 +103,12 @@ func (d *Deployment) Write(iface Iface, table, format string, in Input) WriteOut
 		if err != nil {
 			return WriteOutcome{Err: err}
 		}
-		return WriteOutcome{Err: df.SaveAsTable(table, format)}
+		return WriteOutcome{Err: df.SaveAsTableSpan(parent, table, format)}
 	case HiveQL:
-		if _, err := d.Hive.Execute(fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
+		if _, err := d.Hive.ExecuteSpan(parent, fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
 			return WriteOutcome{Err: err}
 		}
-		res, err := d.Hive.Execute(fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
+		res, err := d.Hive.ExecuteSpan(parent, fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
 		if err != nil {
 			return WriteOutcome{Err: err}
 		}
@@ -96,21 +120,26 @@ func (d *Deployment) Write(iface Iface, table, format string, in Input) WriteOut
 
 // Read fetches the single test row through the interface.
 func (d *Deployment) Read(iface Iface, table string) ReadOutcome {
+	return d.ReadSpan(nil, iface, table)
+}
+
+// ReadSpan is Read under an explicit parent span.
+func (d *Deployment) ReadSpan(parent *obs.Span, iface Iface, table string) ReadOutcome {
 	switch iface {
 	case SparkSQL:
-		res, err := d.Spark.SQL(fmt.Sprintf("SELECT * FROM %s", table))
+		res, err := d.Spark.SQLSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
 		if err != nil {
 			return ReadOutcome{Err: err}
 		}
 		return readOutcome(res.Columns, res.Rows, res.Warnings)
 	case DataFrame:
-		res, err := d.Spark.Table(table)
+		res, err := d.Spark.TableSpan(parent, table)
 		if err != nil {
 			return ReadOutcome{Err: err}
 		}
 		return readOutcome(res.Columns, res.Rows, res.Warnings)
 	case HiveQL:
-		res, err := d.Hive.Execute(fmt.Sprintf("SELECT * FROM %s", table))
+		res, err := d.Hive.ExecuteSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
 		if err != nil {
 			return ReadOutcome{Err: err}
 		}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/csi"
+	"repro/internal/obs"
 )
 
 // CaseResult is one executed test case: an input written through one
@@ -17,6 +19,9 @@ type CaseResult struct {
 	Table  string
 	Write  WriteOutcome
 	Read   ReadOutcome
+	// Span is the case's root span when the run traces (nil otherwise);
+	// the spans beneath it are the case's cross-system interactions.
+	Span *obs.Span
 }
 
 // Describe renders the case coordinates for logs.
@@ -31,6 +36,9 @@ type Failure struct {
 	Peer      *CaseResult // differential oracle: the differing case
 	Signature string
 	Detail    string
+	// Chain is the rendered cross-system propagation chain of the
+	// failing case (empty when the run did not trace).
+	Chain string
 }
 
 // RunOptions configure a harness run.
@@ -46,6 +54,12 @@ type RunOptions struct {
 	// cases (each case uses its own table; the engines are safe for
 	// concurrent use). Values below 2 run sequentially.
 	Parallel int
+	// Tracer, when non-nil, records a causal span tree per case; each
+	// Failure then carries the rendered cross-system propagation chain.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, records per-plan/per-format/per-oracle
+	// case counts and durations into the registry.
+	Metrics *obs.Registry
 }
 
 // RunResult is the outcome of a harness run.
@@ -61,6 +75,9 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 	d := NewDeployment()
 	for k, v := range opts.SparkConf {
 		d.Spark.Conf().Set(k, v)
+	}
+	if opts.Tracer != nil {
+		d.SetTracer(opts.Tracer)
 	}
 	plans := Plans()
 	if len(opts.Families) > 0 {
@@ -88,9 +105,33 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 		}
 	}
 	execute := func(c *CaseResult) {
-		c.Write = d.Write(c.Plan.Write, c.Table, c.Format, *c.Input)
+		var started time.Time
+		if opts.Metrics != nil {
+			started = time.Now()
+		}
+		if opts.Tracer != nil {
+			c.Span = opts.Tracer.Span(nil, IfaceSystem(c.Plan.Write), csi.DataPlane, c.Plan.Name()+"/"+c.Format).
+				Set("input", c.Input.Name).Set("table", c.Table)
+		}
+		c.Write = d.WriteSpan(c.Span, c.Plan.Write, c.Table, c.Format, *c.Input)
 		if c.Write.Err == nil {
-			c.Read = d.Read(c.Plan.Read, c.Table)
+			c.Read = d.ReadSpan(c.Span, c.Plan.Read, c.Table)
+		}
+		c.Span.Fail(c.Write.Err).Fail(c.Read.Err).End()
+		if opts.Metrics != nil {
+			opts.Metrics.Counter("crosstest_cases_total").Inc()
+			opts.Metrics.Counter("crosstest_plan_cases_total", "plan", c.Plan.Name(), "format", c.Format).Inc()
+			// Each case feeds exactly one value-checking oracle: valid
+			// inputs the write/read oracle, invalid inputs the
+			// error-handling oracle — so the per-oracle counts partition
+			// the total.
+			oracle := csi.OracleWriteRead
+			if !c.Input.Valid {
+				oracle = csi.OracleErrorHandling
+			}
+			opts.Metrics.Counter("crosstest_oracle_cases_total", "oracle", oracle.String()).Inc()
+			opts.Metrics.Histogram("crosstest_case_duration_ms", nil, "family", c.Plan.Family).
+				Observe(float64(time.Since(started)) / float64(time.Millisecond))
 		}
 	}
 	if opts.Parallel > 1 {
@@ -117,10 +158,22 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 	}
 
 	failures := applyOracles(cases)
+	if opts.Tracer != nil {
+		for i := range failures {
+			failures[i].Chain = obs.RenderChain(opts.Tracer.Chain(failures[i].Case.Span))
+		}
+	}
+	report := buildReport(failures)
+	if opts.Metrics != nil {
+		for _, o := range []csi.Oracle{csi.OracleWriteRead, csi.OracleErrorHandling, csi.OracleDifferential} {
+			opts.Metrics.Counter("crosstest_oracle_failures_total", "oracle", o.String()).Add(int64(report.ByOracle[o]))
+		}
+		opts.Metrics.Gauge("crosstest_distinct_discrepancies").Set(float64(len(report.Found)))
+	}
 	return &RunResult{
 		Cases:    cases,
 		Failures: failures,
-		Report:   buildReport(failures),
+		Report:   report,
 	}, nil
 }
 

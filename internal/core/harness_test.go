@@ -2,8 +2,10 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -527,8 +529,14 @@ func TestOracleLogs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != len(logs) {
-		t.Errorf("wrote %d files for %d groups", len(names), len(logs))
+	// Every producible group gets a file — empty groups as empty arrays.
+	if len(names) < len(oracleNames()) {
+		t.Errorf("wrote %d files, want at least the %d standard groups", len(names), len(oracleNames()))
+	}
+	for _, name := range oracleNames() {
+		if !containsString(names, name+"_failed.json") {
+			t.Errorf("missing log file for group %s", name)
+		}
 	}
 	data, err := os.ReadFile(filepath.Join(dir, names[0]))
 	if err != nil {
@@ -538,7 +546,44 @@ func TestOracleLogs(t *testing.T) {
 	if err := json.Unmarshal(data, &parsed); err != nil {
 		t.Fatalf("log not valid JSON: %v", err)
 	}
-	if len(parsed) == 0 || parsed[0].Oracle == "" {
-		t.Errorf("entries = %v", parsed)
+
+	// Round trip: reading the directory back reproduces OracleLogs for
+	// the non-empty groups and empty slices for the rest.
+	back, err := ReadOracleLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(names) {
+		t.Errorf("read %d groups back, wrote %d files", len(back), len(names))
+	}
+	for key, entries := range logs {
+		got, ok := back[key]
+		if !ok {
+			t.Errorf("group %s missing after round trip", key)
+			continue
+		}
+		if !reflect.DeepEqual(got, entries) {
+			t.Errorf("group %s changed in round trip:\n got %v\nwant %v", key, got, entries)
+		}
+	}
+	for key, entries := range back {
+		if len(entries) > 0 && len(logs[key]) == 0 {
+			t.Errorf("round trip invented entries for %s", key)
+		}
+	}
+}
+
+func TestWriteOracleLogsDirIsFile(t *testing.T) {
+	inputs := subset(t, "ts_noon")
+	res, err := Run(inputs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "logs")
+	if err := os.WriteFile(path, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.WriteOracleLogs(path); !errors.Is(err, ErrLogDirIsFile) {
+		t.Errorf("WriteOracleLogs on a file = %v, want ErrLogDirIsFile", err)
 	}
 }

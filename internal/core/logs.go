@@ -67,30 +67,88 @@ func (r *RunResult) OracleLogs() map[string][]LogEntry {
 	return out
 }
 
+// ErrLogDirIsFile reports a WriteOracleLogs destination that exists as
+// a regular file instead of a directory.
+var ErrLogDirIsFile = fmt.Errorf("core: oracle log dir exists and is not a directory")
+
 // WriteOracleLogs writes each group to dir as
-// "<family>_<oracle>_failed.json", creating dir if needed. It returns
-// the file names written, sorted.
+// "<family>_<oracle>_failed.json", creating dir if needed. Every log
+// key a full run can produce gets a file — groups with zero failures
+// get an empty JSON array — so consumers can distinguish "oracle ran
+// clean" from "oracle never ran". It returns the file names written,
+// sorted.
 func (r *RunResult) WriteOracleLogs(dir string) ([]string, error) {
+	if fi, err := os.Stat(dir); err == nil && !fi.IsDir() {
+		return nil, fmt.Errorf("%w: %s", ErrLogDirIsFile, dir)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	logs := r.OracleLogs()
-	names := make([]string, 0, len(logs))
+	keys := oracleNames()
 	for key := range logs {
-		names = append(names, key+"_failed.json")
+		if !containsString(keys, key) {
+			keys = append(keys, key)
+		}
 	}
-	sort.Strings(names)
-	for key, entries := range logs {
+	sort.Strings(keys)
+	names := make([]string, 0, len(keys))
+	for _, key := range keys {
+		entries := logs[key]
+		if entries == nil {
+			entries = []LogEntry{}
+		}
 		data, err := json.MarshalIndent(entries, "", "  ")
 		if err != nil {
 			return nil, err
 		}
-		path := filepath.Join(dir, key+"_failed.json")
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		name := key + "_failed.json"
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
 			return nil, err
 		}
+		names = append(names, name)
 	}
 	return names, nil
+}
+
+// ReadOracleLogs reads back a directory written by WriteOracleLogs,
+// keyed like OracleLogs. Empty groups come back as empty (non-nil)
+// slices.
+func ReadOracleLogs(dir string) (map[string][]LogEntry, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]LogEntry{}
+	for _, e := range entries {
+		name := e.Name()
+		const suffix = "_failed.json"
+		if e.IsDir() || len(name) <= len(suffix) || name[len(name)-len(suffix):] != suffix {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var logs []LogEntry
+		if err := json.Unmarshal(data, &logs); err != nil {
+			return nil, fmt.Errorf("core: parsing %s: %w", name, err)
+		}
+		if logs == nil {
+			logs = []LogEntry{}
+		}
+		out[name[:len(name)-len(suffix)]] = logs
+	}
+	return out, nil
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // oracleNames lists the log keys a full run can produce.

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/obs"
+)
+
+// TestRunWithTracerAttachesChains runs a traced harness pass and checks
+// every failure carries a cross-system propagation chain reconstructed
+// from its case's span subtree.
+func TestRunWithTracerAttachesChains(t *testing.T) {
+	inputs := subset(t, "char_short", "bool_invalid_yes", "ts_noon")
+	tr := obs.NewTracer(nil)
+	res, err := Run(inputs, RunOptions{Tracer: tr, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("subset produced no failures")
+	}
+	for _, f := range res.Failures {
+		if f.Chain == "" {
+			t.Fatalf("failure %s has no chain", f.Detail)
+		}
+		hops := tr.Chain(f.Case.Span)
+		systems := obs.Systems(hops)
+		if len(systems) < 2 {
+			t.Errorf("chain for %s crosses %d systems, want >= 2: %s", f.Case.Describe(), len(systems), f.Chain)
+		}
+		// Causal order: the writing interface's engine leads the chain.
+		if want := IfaceSystem(f.Case.Plan.Write); hops[0].System != want {
+			t.Errorf("chain starts at %s, want %s: %s", hops[0].System, want, f.Chain)
+		}
+		if !strings.Contains(f.Chain, "→") {
+			t.Errorf("chain not rendered with arrows: %q", f.Chain)
+		}
+	}
+	// Per-case subtrees stay isolated under the parallel run: every
+	// span in a case's subtree belongs to exactly that case's tree.
+	for _, c := range res.Cases {
+		if c.Span == nil {
+			t.Fatal("case has no span")
+		}
+	}
+}
+
+// TestRunMetrics checks the acceptance arithmetic: the per-oracle case
+// counts partition the total, and failure counters match the report.
+func TestRunMetrics(t *testing.T) {
+	inputs := subset(t, "char_short", "bool_invalid_yes", "ts_noon")
+	reg := obs.NewRegistry()
+	res, err := Run(inputs, RunOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("metrics are not valid Prometheus text: %v", err)
+	}
+	total := got["crosstest_cases_total"]
+	if total != float64(len(res.Cases)) {
+		t.Errorf("crosstest_cases_total = %v, want %d", total, len(res.Cases))
+	}
+	wr := got[`crosstest_oracle_cases_total{oracle="wr"}`]
+	eh := got[`crosstest_oracle_cases_total{oracle="eh"}`]
+	if wr+eh != total {
+		t.Errorf("oracle case counts %v + %v != total %v", wr, eh, total)
+	}
+	for _, o := range []csi.Oracle{csi.OracleWriteRead, csi.OracleErrorHandling, csi.OracleDifferential} {
+		key := `crosstest_oracle_failures_total{oracle="` + o.String() + `"}`
+		if got[key] != float64(res.Report.ByOracle[o]) {
+			t.Errorf("%s = %v, want %d", key, got[key], res.Report.ByOracle[o])
+		}
+	}
+	if got["crosstest_distinct_discrepancies"] != float64(len(res.Report.Found)) {
+		t.Errorf("distinct discrepancies gauge = %v, want %d",
+			got["crosstest_distinct_discrepancies"], len(res.Report.Found))
+	}
+	if got[`crosstest_case_duration_ms_count{family="ss"}`] == 0 {
+		t.Error("no duration observations for family ss")
+	}
+}

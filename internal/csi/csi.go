@@ -24,6 +24,12 @@ const (
 	HBase System = "HBase"
 )
 
+// SerDe identifies the serialization/deserialization boundary —
+// file-format encode/decode — that every data-plane interaction
+// crosses. It is not one of the seven studied systems but is a
+// first-class hop in propagation chains (e.g. Spark → SerDe → HDFS).
+const SerDe System = "SerDe"
+
 // Systems lists the seven target systems in the order of Table 1.
 func Systems() []System {
 	return []System{Spark, Hive, YARN, HDFS, Flink, Kafka, HBase}

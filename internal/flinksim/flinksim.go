@@ -16,8 +16,11 @@ package flinksim
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/csi"
 	"repro/internal/kafkasim"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/yarnsim"
 )
@@ -87,6 +90,18 @@ type YarnResourceClient struct {
 	errs       []error
 	ticker     *vclock.Timer
 	doneAtMs   int64
+
+	tracer   *obs.Tracer
+	traceTop *obs.Span
+}
+
+// SetTrace attaches a tracer and default parent span; the client then
+// emits a Flink control-plane span per container request round. The
+// client runs single-threaded on the vclock scheduler. A nil tracer
+// disables emission.
+func (c *YarnResourceClient) SetTrace(tr *obs.Tracer, parent *obs.Span) {
+	c.tracer = tr
+	c.traceTop = parent
 }
 
 // NewYarnResourceClient creates the client; Start begins requesting.
@@ -144,6 +159,11 @@ func (c *YarnResourceClient) heartbeat() {
 func (c *YarnResourceClient) request(n int) {
 	if n <= 0 {
 		return
+	}
+	if c.tracer != nil {
+		c.tracer.Span(c.traceTop, csi.Flink, csi.ControlPlane, "request-containers").
+			Set("n", strconv.Itoa(n)).
+			Set("mode", c.opts.Mode.String()).End()
 	}
 	c.totalAsked += n
 	c.submitted += n
@@ -254,6 +274,9 @@ type KafkaSource struct {
 	opts   KafkaSourceOptions
 	next   int64
 	read   []kafkasim.Record
+
+	tracer   *obs.Tracer
+	traceTop *obs.Span
 }
 
 // NewKafkaSource creates a source starting at offset 0.
@@ -261,22 +284,39 @@ func NewKafkaSource(broker *kafkasim.Broker, opts KafkaSourceOptions) *KafkaSour
 	return &KafkaSource{broker: broker, opts: opts}
 }
 
+// SetTrace attaches a tracer and default parent span; each Poll then
+// emits a Flink data-plane span (failed on an offset-gap abort).
+func (s *KafkaSource) SetTrace(tr *obs.Tracer, parent *obs.Span) {
+	s.tracer = tr
+	s.traceTop = parent
+}
+
 // Poll fetches up to max records, enforcing the contiguity assumption
 // when configured. It returns the records fetched in this call.
 func (s *KafkaSource) Poll(max int) ([]kafkasim.Record, error) {
+	var sp *obs.Span
+	if s.tracer != nil {
+		sp = s.tracer.Span(s.traceTop, csi.Flink, csi.DataPlane, "kafka-source/poll").
+			Set("topic", s.opts.Topic).
+			Set("offset", strconv.FormatInt(s.next, 10))
+	}
 	recs, next, err := s.broker.Fetch(s.opts.Topic, s.opts.Partition, s.next, max)
 	if err != nil {
+		sp.Fail(err).End()
 		return nil, err
 	}
 	expected := s.next
 	for _, r := range recs {
 		if s.opts.AssumeContiguousOffsets && r.Offset != expected {
-			return nil, &OffsetGapError{Topic: s.opts.Topic, Expected: expected, Got: r.Offset}
+			err := &OffsetGapError{Topic: s.opts.Topic, Expected: expected, Got: r.Offset}
+			sp.Fail(err).End()
+			return nil, err
 		}
 		expected = r.Offset + 1
 		s.read = append(s.read, r)
 	}
 	s.next = next
+	sp.End()
 	return recs, nil
 }
 

@@ -17,9 +17,12 @@ package hdfssim
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
+	"repro/internal/csi"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -65,6 +68,8 @@ type file struct {
 type FileSystem struct {
 	mu       sync.Mutex
 	clock    *vclock.Sim
+	tracer   *obs.Tracer
+	traceTop *obs.Span
 	files    map[string]*file
 	safeMode bool
 
@@ -95,6 +100,31 @@ func New(clock *vclock.Sim) *FileSystem {
 
 // Clock exposes the file system's virtual clock.
 func (fs *FileSystem) Clock() *vclock.Sim { return fs.clock }
+
+// SetTrace attaches a tracer and a default parent span; the file
+// system then emits a span for every operation that crosses its
+// boundary (write, read, stat, token checks). A nil tracer disables
+// emission.
+func (fs *FileSystem) SetTrace(tr *obs.Tracer, parent *obs.Span) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.tracer = tr
+	fs.traceTop = parent
+}
+
+// span emits a completed boundary span; call with fs.mu held.
+func (fs *FileSystem) span(plane csi.Plane, name, path string, err error) *obs.Span {
+	if fs.tracer == nil {
+		return nil
+	}
+	sp := fs.tracer.Span(fs.traceTop, csi.HDFS, plane, name)
+	if path != "" {
+		sp.Set("path", path)
+	}
+	sp.Fail(err)
+	sp.End()
+	return sp
+}
 
 // SetSafeMode toggles NameNode safe mode.
 func (fs *FileSystem) SetSafeMode(on bool) {
@@ -130,6 +160,15 @@ func (fs *FileSystem) Write(path string, data []byte, opts WriteOptions) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.writeCalls++
+	err := fs.writeLocked(path, data, opts)
+	sp := fs.span(csi.DataPlane, "write", path, err)
+	if opts.Compress {
+		sp.Set("compressed", "true")
+	}
+	return err
+}
+
+func (fs *FileSystem) writeLocked(path string, data []byte, opts WriteOptions) error {
 	if fs.safeMode {
 		return ErrSafeMode
 	}
@@ -153,8 +192,11 @@ func (fs *FileSystem) Read(path string) ([]byte, error) {
 	fs.readCalls++
 	f, ok := fs.files[path]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		err := fmt.Errorf("%w: %s", ErrNotFound, path)
+		fs.span(csi.DataPlane, "read", path, err)
+		return nil, err
 	}
+	fs.span(csi.DataPlane, "read", path, nil)
 	return append([]byte(nil), f.data...), nil
 }
 
@@ -167,7 +209,9 @@ func (fs *FileSystem) Stat(path string) (FileInfo, error) {
 	fs.statCalls++
 	f, ok := fs.files[path]
 	if !ok {
-		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+		err := fmt.Errorf("%w: %s", ErrNotFound, path)
+		fs.span(csi.DataPlane, "stat", path, err)
+		return FileInfo{}, err
 	}
 	info := FileInfo{
 		Path:       path,
@@ -179,6 +223,9 @@ func (fs *FileSystem) Stat(path string) (FileInfo, error) {
 	}
 	if f.compressed {
 		info.Length = CompressedLength
+	}
+	if fs.tracer != nil {
+		fs.span(csi.DataPlane, "stat", path, nil).Set("length", strconv.FormatInt(info.Length, 10))
 	}
 	return info, nil
 }

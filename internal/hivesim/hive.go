@@ -3,9 +3,12 @@ package hivesim
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/csi"
 	"repro/internal/hdfssim"
+	"repro/internal/obs"
 	"repro/internal/serde"
 	"repro/internal/sqlparse"
 	"repro/internal/sqlval"
@@ -39,8 +42,9 @@ func (e *SerDeError) Error() string {
 // Hive is the simulated Hive engine: a HiveQL front end over the shared
 // metastore and warehouse.
 type Hive struct {
-	ms *Metastore
-	fs *hdfssim.FileSystem
+	ms     *Metastore
+	fs     *hdfssim.FileSystem
+	tracer *obs.Tracer
 }
 
 // New creates a Hive engine over the given file system and metastore.
@@ -56,27 +60,48 @@ func (h *Hive) Metastore() *Metastore { return h.ms }
 // FileSystem returns the warehouse file system.
 func (h *Hive) FileSystem() *hdfssim.FileSystem { return h.fs }
 
+// SetTracer attaches an observability tracer; spans are threaded
+// explicitly through ExecuteSpan so concurrent callers don't race.
+func (h *Hive) SetTracer(tr *obs.Tracer) { h.tracer = tr }
+
 // Execute runs one HiveQL statement.
 func (h *Hive) Execute(query string) (*Result, error) {
+	return h.ExecuteSpan(nil, query)
+}
+
+// ExecuteSpan runs one HiveQL statement under an explicit parent span,
+// emitting a Hive data-plane span with SerDe/warehouse children. With
+// no tracer attached this is exactly Execute.
+func (h *Hive) ExecuteSpan(parent *obs.Span, query string) (*Result, error) {
+	sp := h.tracer.Span(parent, csi.Hive, csi.DataPlane, "hiveql")
+	res, err := h.dispatch(sp, query)
+	sp.Fail(err).End()
+	return res, err
+}
+
+func (h *Hive) dispatch(sp *obs.Span, query string) (*Result, error) {
 	stmt, err := sqlparse.Parse(query)
 	if err != nil {
 		return nil, err
 	}
 	switch s := stmt.(type) {
 	case *sqlparse.CreateTable:
-		return h.createTable(s)
+		return h.createTable(sp, s)
 	case *sqlparse.DropTable:
-		return &Result{}, h.ms.DropTable(s.Table, s.IfExists)
+		err := h.ms.DropTable(s.Table, s.IfExists)
+		sp.Child(csi.Hive, csi.ManagementPlane, "metastore/drop-table").
+			Set("table", s.Table).Fail(err).End()
+		return &Result{}, err
 	case *sqlparse.Insert:
-		return h.insert(s)
+		return h.insert(sp, s)
 	case *sqlparse.Select:
-		return h.selectRows(s)
+		return h.selectRows(sp, s)
 	default:
 		return nil, fmt.Errorf("hive: unsupported statement %T", stmt)
 	}
 }
 
-func (h *Hive) createTable(s *sqlparse.CreateTable) (*Result, error) {
+func (h *Hive) createTable(sp *obs.Span, s *sqlparse.CreateTable) (*Result, error) {
 	format := s.Format
 	if format == "" {
 		format = DefaultFormat
@@ -96,6 +121,8 @@ func (h *Hive) createTable(s *sqlparse.CreateTable) (*Result, error) {
 		partCols[i] = serde.Column{Name: c.Name, Type: c.Type}
 	}
 	_, err := h.ms.CreateTablePartitioned(s.Table, cols, partCols, format, s.Props)
+	sp.Child(csi.Hive, csi.DataPlane, "metastore/create-table").
+		Set("table", s.Table).Set("format", format).Fail(err).End()
 	if err != nil && s.IfNotExists && strings.Contains(err.Error(), "already exists") {
 		return &Result{}, nil
 	}
@@ -133,8 +160,10 @@ func avroDerive(t sqlval.Type) sqlval.Type {
 	}
 }
 
-func (h *Hive) insert(s *sqlparse.Insert) (*Result, error) {
+func (h *Hive) insert(sp *obs.Span, s *sqlparse.Insert) (*Result, error) {
 	table, err := h.ms.GetTable(s.Table)
+	sp.Child(csi.Hive, csi.DataPlane, "metastore/get-table").
+		Set("table", s.Table).Fail(err).End()
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +191,7 @@ func (h *Hive) insert(s *sqlparse.Insert) (*Result, error) {
 			return nil, err
 		}
 	}
-	if err := h.WriteRows(table, rows); err != nil {
+	if err := h.writeRows(sp, table, rows); err != nil {
 		return nil, err
 	}
 	return &Result{}, nil
@@ -183,6 +212,10 @@ func (h *Hive) Truncate(table *Table) error {
 // the table through Hive's writer personality: positional ORC names,
 // hybrid-calendar date rebasing, and Hive's partition-path escaping.
 func (h *Hive) WriteRows(table *Table, rows []sqlval.Row) error {
+	return h.writeRows(nil, table, rows)
+}
+
+func (h *Hive) writeRows(sp *obs.Span, table *Table, rows []sqlval.Row) error {
 	format, err := h.writerFor(table.Format)
 	if err != nil {
 		return err
@@ -211,11 +244,20 @@ func (h *Hive) WriteRows(table *Table, rows []sqlval.Row) error {
 	meta := map[string]string{serde.MetaWriterEngine: "hive"}
 	for _, dir := range order {
 		data, err := format.Encode(table.Schema(), meta, groups[dir])
+		if sp != nil {
+			sp.Child(csi.SerDe, csi.DataPlane, table.Format+"/encode").
+				Set("rows", strconv.Itoa(len(groups[dir]))).Fail(err).End()
+		}
 		if err != nil {
 			return err
 		}
 		path := h.ms.NextPartIn(table, dir)
-		if err := h.fs.Write(path, data, hdfssim.WriteOptions{Overwrite: true}); err != nil {
+		err = h.fs.Write(path, data, hdfssim.WriteOptions{Overwrite: true})
+		if sp != nil {
+			sp.Child(csi.HDFS, csi.DataPlane, "warehouse/write").
+				Set("path", path).Fail(err).End()
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -276,12 +318,14 @@ func transformDates(v sqlval.Value, f func(int64) int64) sqlval.Value {
 	}
 }
 
-func (h *Hive) selectRows(s *sqlparse.Select) (*Result, error) {
+func (h *Hive) selectRows(sp *obs.Span, s *sqlparse.Select) (*Result, error) {
 	table, err := h.ms.GetTable(s.Table)
+	sp.Child(csi.Hive, csi.DataPlane, "metastore/get-table").
+		Set("table", s.Table).Fail(err).End()
 	if err != nil {
 		return nil, err
 	}
-	rows, err := h.ReadRows(table)
+	rows, err := h.readRows(sp, table)
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +335,10 @@ func (h *Hive) selectRows(s *sqlparse.Select) (*Result, error) {
 // ReadRows scans every part file of the table and converts the stored
 // rows to the metastore schema under Hive's read personality.
 func (h *Hive) ReadRows(table *Table) ([]sqlval.Row, error) {
+	return h.readRows(nil, table)
+}
+
+func (h *Hive) readRows(sp *obs.Span, table *Table) ([]sqlval.Row, error) {
 	format, err := serde.ByName(table.Format)
 	if err != nil {
 		return nil, err
@@ -298,15 +346,27 @@ func (h *Hive) ReadRows(table *Table) ([]sqlval.Row, error) {
 	var out []sqlval.Row
 	for _, path := range h.fs.List(table.Location) {
 		data, err := h.fs.Read(path)
+		if sp != nil {
+			sp.Child(csi.HDFS, csi.DataPlane, "warehouse/read").
+				Set("path", path).Fail(err).End()
+		}
 		if err != nil {
 			return nil, err
 		}
+		// One SerDe span covers the decode and row conversion: a
+		// SerDeException (e.g. SPARK-39158) is a SerDe-boundary failure.
+		var dec *obs.Span
+		if sp != nil {
+			dec = sp.Child(csi.SerDe, csi.DataPlane, table.Format+"/decode")
+		}
 		file, err := format.Decode(data)
 		if err != nil {
+			dec.Fail(err).End()
 			return nil, err
 		}
 		partVals, err := ParsePartitionValues(table, path, UnescapePartitionValue, sqlval.CastHive)
 		if err != nil {
+			dec.Fail(err).End()
 			return nil, err
 		}
 		resolve := columnResolver(file.Schema, table.Columns)
@@ -320,6 +380,7 @@ func (h *Hive) ReadRows(table *Table) ([]sqlval.Row, error) {
 				}
 				v, err := h.convertForRead(table, col, file.Schema.Columns[idx].Type, fileRow[idx])
 				if err != nil {
+					dec.Fail(err).End()
 					return nil, err
 				}
 				row[i] = v
@@ -327,6 +388,7 @@ func (h *Hive) ReadRows(table *Table) ([]sqlval.Row, error) {
 			row = append(row, partVals.Clone()...)
 			out = append(out, row)
 		}
+		dec.End()
 	}
 	return out, nil
 }

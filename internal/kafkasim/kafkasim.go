@@ -14,7 +14,11 @@ package kafkasim
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+
+	"repro/internal/csi"
+	"repro/internal/obs"
 )
 
 // Record is one log entry as seen by consumers.
@@ -50,13 +54,39 @@ var ErrNotConnected = fmt.Errorf("kafka: partition discovery requires a connecte
 
 // Broker is the simulated cluster.
 type Broker struct {
-	mu     sync.Mutex
-	topics map[string][]*partition
+	mu       sync.Mutex
+	topics   map[string][]*partition
+	tracer   *obs.Tracer
+	traceTop *obs.Span
 }
 
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
 	return &Broker{topics: make(map[string][]*partition)}
+}
+
+// SetTrace attaches a tracer and default parent span; the broker then
+// emits spans for produce/fetch (data plane) and compaction
+// (management plane). A nil tracer disables emission.
+func (b *Broker) SetTrace(tr *obs.Tracer, parent *obs.Span) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tracer = tr
+	b.traceTop = parent
+}
+
+// span emits a completed boundary span; call with b.mu held.
+func (b *Broker) span(plane csi.Plane, name, topic string, err error) *obs.Span {
+	if b.tracer == nil {
+		return nil
+	}
+	sp := b.tracer.Span(b.traceTop, csi.Kafka, plane, name)
+	if topic != "" {
+		sp.Set("topic", topic)
+	}
+	sp.Fail(err)
+	sp.End()
+	return sp
 }
 
 // CreateTopic registers a topic with the given partition count.
@@ -91,11 +121,15 @@ func (b *Broker) Produce(topic string, part int, key string, value []byte) (int6
 	defer b.mu.Unlock()
 	p, err := b.partition(topic, part)
 	if err != nil {
+		b.span(csi.DataPlane, "produce", topic, err)
 		return 0, err
 	}
 	off := p.nextOffset
 	p.nextOffset++
 	p.entries = append(p.entries, entry{offset: off, key: key, value: append([]byte(nil), value...)})
+	if b.tracer != nil {
+		b.span(csi.DataPlane, "produce", topic, nil).Set("offset", strconv.FormatInt(off, 10))
+	}
 	return off, nil
 }
 
@@ -141,6 +175,9 @@ func (b *Broker) Compact(topic string, part int) (int, error) {
 			removed++
 		}
 	}
+	if b.tracer != nil {
+		b.span(csi.ManagementPlane, "compact", topic, nil).Set("removed", strconv.Itoa(removed))
+	}
 	return removed, nil
 }
 
@@ -152,10 +189,13 @@ func (b *Broker) Fetch(topic string, part int, offset int64, max int) ([]Record,
 	defer b.mu.Unlock()
 	p, err := b.partition(topic, part)
 	if err != nil {
+		b.span(csi.DataPlane, "fetch", topic, err)
 		return nil, 0, err
 	}
 	if offset < 0 || offset > p.nextOffset {
-		return nil, 0, fmt.Errorf("%w: %d not in [0, %d]", ErrOffsetOutOfRange, offset, p.nextOffset)
+		err := fmt.Errorf("%w: %d not in [0, %d]", ErrOffsetOutOfRange, offset, p.nextOffset)
+		b.span(csi.DataPlane, "fetch", topic, err)
+		return nil, 0, err
 	}
 	var out []Record
 	next := offset
@@ -171,6 +211,9 @@ func (b *Broker) Fetch(topic string, part int, offset int64, max int) ([]Record,
 	}
 	if len(out) == 0 {
 		next = p.nextOffset
+	}
+	if b.tracer != nil {
+		b.span(csi.DataPlane, "fetch", topic, nil).Set("records", strconv.Itoa(len(out)))
 	}
 	return out, next, nil
 }

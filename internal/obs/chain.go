@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/csi"
+)
+
+// Hop is one system-level step of a cross-system propagation chain.
+type Hop struct {
+	System csi.System
+	Plane  csi.Plane
+	Name   string // the first span folded into the hop
+	Spans  int    // spans folded into the hop
+	Error  string // first error observed within the hop
+}
+
+// Failed reports whether any span folded into the hop recorded an
+// error.
+func (h Hop) Failed() bool { return h.Error != "" }
+
+// Chain reconstructs the cross-system propagation chain of the
+// subtree rooted at root, or of the whole trace when root is nil:
+// spans are ordered causally (start time, then creation order) and
+// consecutive spans of the same system fold into one hop. The result
+// reads the way the paper narrates its incidents — which system an
+// interaction entered, where it went next, and where it failed.
+func (t *Tracer) Chain(root *Span) []Hop {
+	spans := t.Snapshot()
+	if root != nil {
+		spans = subtree(spans, root.ID)
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartMs != spans[j].StartMs {
+			return spans[i].StartMs < spans[j].StartMs
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	var hops []Hop
+	for _, s := range spans {
+		if n := len(hops); n > 0 && hops[n-1].System == s.System {
+			h := &hops[n-1]
+			h.Spans++
+			if h.Error == "" {
+				h.Error = s.Error
+			}
+			continue
+		}
+		hops = append(hops, Hop{System: s.System, Plane: s.Plane, Name: s.Name, Spans: 1, Error: s.Error})
+	}
+	return hops
+}
+
+// subtree keeps the spans rooted at rootID. Parents are created before
+// children, so one forward pass suffices.
+func subtree(spans []Span, rootID int64) []Span {
+	in := map[int64]bool{rootID: true}
+	var out []Span
+	for _, s := range spans {
+		if in[s.ID] || in[s.ParentID] {
+			in[s.ID] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// maxRenderHops caps rendered chains: a request storm folds into long
+// alternating System↔System tails that repeat without adding
+// information.
+const maxRenderHops = 12
+
+// RenderChain renders hops as
+//
+//	Flink/request-containers → YARN/allocate(x12) → Flink ✗
+//
+// marking failed hops with ✗ and eliding the middle of very long
+// chains.
+func RenderChain(hops []Hop) string {
+	labels := make([]string, 0, len(hops))
+	for _, h := range hops {
+		labels = append(labels, renderHop(h))
+	}
+	if len(labels) > maxRenderHops {
+		elided := len(labels) - (maxRenderHops - 1)
+		head := labels[:maxRenderHops-2]
+		tail := labels[len(labels)-1]
+		labels = append(append(head, fmt.Sprintf("⋯(+%d hops)", elided)), tail)
+	}
+	return strings.Join(labels, " → ")
+}
+
+func renderHop(h Hop) string {
+	label := string(h.System)
+	if h.Name != "" {
+		label += "/" + h.Name
+	}
+	if h.Spans > 1 {
+		label += fmt.Sprintf("(x%d)", h.Spans)
+	}
+	if h.Failed() {
+		label += " ✗"
+	}
+	return label
+}
+
+// Systems returns the distinct systems in hop order, each once.
+func Systems(hops []Hop) []csi.System {
+	seen := map[csi.System]bool{}
+	var out []csi.System
+	for _, h := range hops {
+		if !seen[h.System] {
+			seen[h.System] = true
+			out = append(out, h.System)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/csi"
+)
+
+func TestChainFoldsConsecutiveSystems(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Span(nil, csi.Spark, csi.DataPlane, "dataframe/save")
+	root.Child(csi.Hive, csi.DataPlane, "metastore/create-table").End()
+	root.Child(csi.SerDe, csi.DataPlane, "avro/encode").End()
+	w := root.Child(csi.HDFS, csi.DataPlane, "warehouse/write")
+	w.End()
+	root.Child(csi.HDFS, csi.DataPlane, "warehouse/write").End() // second part file folds
+	read := tr.Span(nil, csi.Hive, csi.DataPlane, "hiveql/select")
+	read.Child(csi.SerDe, csi.DataPlane, "avro/decode").Fail(fmt.Errorf("cannot decode")).End()
+	read.End()
+	root.End()
+
+	hops := tr.Chain(nil)
+	var systems []string
+	for _, h := range hops {
+		systems = append(systems, string(h.System))
+	}
+	want := []string{"Spark", "Hive", "SerDe", "HDFS", "Hive", "SerDe"}
+	if strings.Join(systems, ",") != strings.Join(want, ",") {
+		t.Fatalf("chain systems = %v, want %v", systems, want)
+	}
+	if hops[3].Spans != 2 {
+		t.Errorf("HDFS hop folded %d spans, want 2", hops[3].Spans)
+	}
+	last := hops[len(hops)-1]
+	if !last.Failed() || last.Error != "cannot decode" {
+		t.Errorf("failing hop = %+v", last)
+	}
+	rendered := RenderChain(hops)
+	if !strings.Contains(rendered, "Spark/dataframe/save → Hive/metastore/create-table") {
+		t.Errorf("render = %q", rendered)
+	}
+	if !strings.Contains(rendered, "HDFS/warehouse/write(x2)") {
+		t.Errorf("render lost fold count: %q", rendered)
+	}
+	if !strings.HasSuffix(rendered, "✗") {
+		t.Errorf("render does not mark failure: %q", rendered)
+	}
+}
+
+func TestChainSubtreeIsolatesCases(t *testing.T) {
+	tr := NewTracer(nil)
+	// Two interleaved cases, as under a parallel harness run.
+	a := tr.Span(nil, csi.Spark, csi.DataPlane, "case-a")
+	b := tr.Span(nil, csi.Hive, csi.DataPlane, "case-b")
+	a.Child(csi.HDFS, csi.DataPlane, "write").End()
+	b.Child(csi.Kafka, csi.DataPlane, "produce").End()
+	a.End()
+	b.End()
+	hopsA := tr.Chain(a)
+	if len(hopsA) != 2 || hopsA[0].System != csi.Spark || hopsA[1].System != csi.HDFS {
+		t.Errorf("subtree chain A = %+v", hopsA)
+	}
+	hopsB := tr.Chain(b)
+	if len(hopsB) != 2 || hopsB[0].System != csi.Hive || hopsB[1].System != csi.Kafka {
+		t.Errorf("subtree chain B = %+v", hopsB)
+	}
+}
+
+func TestRenderChainElidesLongTails(t *testing.T) {
+	tr := NewTracer(nil)
+	for i := 0; i < 40; i++ {
+		tr.Span(nil, csi.Flink, csi.ControlPlane, "request").End()
+		tr.Span(nil, csi.YARN, csi.ControlPlane, "allocate").End()
+	}
+	hops := tr.Chain(nil)
+	if len(hops) != 80 {
+		t.Fatalf("hops = %d", len(hops))
+	}
+	rendered := RenderChain(hops)
+	if n := strings.Count(rendered, "→"); n > maxRenderHops {
+		t.Errorf("rendered %d arrows: %q", n, rendered)
+	}
+	if !strings.Contains(rendered, "hops)") {
+		t.Errorf("no elision marker: %q", rendered)
+	}
+}
+
+func TestSystemsDedup(t *testing.T) {
+	hops := []Hop{{System: csi.Flink}, {System: csi.YARN}, {System: csi.Flink}}
+	got := Systems(hops)
+	if len(got) != 2 || got[0] != csi.Flink || got[1] != csi.YARN {
+		t.Errorf("Systems = %v", got)
+	}
+}

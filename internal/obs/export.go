@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format, families sorted by name and series by label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := r.families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fam.kind); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(fam.series))
+		for key := range fam.series {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if err := writeSeries(w, name, key, fam, fam.series[key]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name, key string, fam *family, s any) error {
+	switch m := s.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, key, m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, key, formatFloat(m.Value()))
+		return err
+	case *Histogram:
+		bounds, counts, sum, count := m.snapshot()
+		cum := int64(0)
+		for i, b := range bounds {
+			cum += counts[i]
+			le := append(append([]Attr(nil), fam.labels[key]...), Attr{Key: "le", Value: formatFloat(b)})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelKey(le), cum); err != nil {
+				return err
+			}
+		}
+		inf := append(append([]Attr(nil), fam.labels[key]...), Attr{Key: "le", Value: "+Inf"})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelKey(inf), count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, key, formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, key, count)
+		return err
+	default:
+		return fmt.Errorf("obs: unknown series type %T", s)
+	}
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// metricJSON is the export shape of one series.
+type metricJSON struct {
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Count   *int64            `json:"count,omitempty"`
+	Buckets map[string]int64  `json:"buckets,omitempty"`
+}
+
+// WriteJSON writes the registry as a JSON array of series, sorted like
+// the Prometheus exposition.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows []metricJSON
+	for _, name := range names {
+		fam := r.families[name]
+		keys := make([]string, 0, len(fam.series))
+		for key := range fam.series {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			row := metricJSON{Name: name, Kind: fam.kind}
+			if attrs := fam.labels[key]; len(attrs) > 0 {
+				row.Labels = map[string]string{}
+				for _, a := range attrs {
+					row.Labels[a.Key] = a.Value
+				}
+			}
+			switch m := fam.series[key].(type) {
+			case *Counter:
+				v := float64(m.Value())
+				row.Value = &v
+			case *Gauge:
+				v := m.Value()
+				row.Value = &v
+			case *Histogram:
+				bounds, counts, sum, count := m.snapshot()
+				row.Sum, row.Count = &sum, &count
+				row.Buckets = map[string]int64{}
+				cum := int64(0)
+				for i, b := range bounds {
+					cum += counts[i]
+					row.Buckets[formatFloat(b)] = cum
+				}
+				row.Buckets["+Inf"] = count
+			}
+			rows = append(rows, row)
+		}
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// ParsePrometheus parses the text exposition format back into a map
+// from "name{labels}" to value, validating each line's syntax. It
+// accepts the subset WritePrometheus emits (comments, blank lines,
+// and "metric value" samples).
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(text, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: line %d: no value in %q", line, text)
+		}
+		metric, raw := text[:sp], text[sp+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", line, raw, err)
+		}
+		if err := validateMetricRef(metric); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %v", line, err)
+		}
+		out[metric] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// validateMetricRef checks "name" or "name{k=\"v\",...}".
+func validateMetricRef(s string) error {
+	name := s
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		name = s[:i]
+		if !strings.HasSuffix(s, "}") {
+			return fmt.Errorf("unterminated label set in %q", s)
+		}
+		body := s[i+1 : len(s)-1]
+		for _, part := range splitLabels(body) {
+			k, v, ok := strings.Cut(part, "=")
+			if !ok || !validName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return fmt.Errorf("bad label %q in %q", part, s)
+			}
+		}
+	}
+	if !validName(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	return nil
+}
+
+// splitLabels splits on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/csi"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Span(nil, csi.Spark, csi.DataPlane, "root")
+	if sp != nil {
+		t.Fatalf("nil tracer returned span %v", sp)
+	}
+	// Every span method must tolerate the nil chain.
+	sp.Set("k", "v").Fail(fmt.Errorf("x")).End()
+	if c := sp.Child(csi.HDFS, csi.DataPlane, "child"); c != nil {
+		t.Fatalf("nil span child = %v", c)
+	}
+	if tr.Len() != 0 || tr.Snapshot() != nil || tr.Chain(nil) != nil {
+		t.Error("nil tracer leaked state")
+	}
+	tr.SetClock(nil)
+}
+
+func TestStepClockCausalOrder(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Span(nil, csi.Spark, csi.DataPlane, "root")
+	a := root.Child(csi.SerDe, csi.DataPlane, "encode")
+	a.End()
+	b := root.Child(csi.HDFS, csi.DataPlane, "write")
+	b.End()
+	root.End()
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartMs <= spans[i-1].StartMs {
+			t.Errorf("step clock not monotonic: %d then %d", spans[i-1].StartMs, spans[i].StartMs)
+		}
+		if spans[i].ID <= spans[i-1].ID {
+			t.Errorf("ids not monotonic")
+		}
+	}
+	if spans[1].ParentID != spans[0].ID || spans[2].ParentID != spans[0].ID {
+		t.Errorf("parent links wrong: %+v", spans)
+	}
+	if spans[0].EndMs < spans[2].StartMs {
+		t.Errorf("root ended (%d) before last child started (%d)", spans[0].EndMs, spans[2].StartMs)
+	}
+}
+
+// TestConcurrentEmitters exercises the tracer from many goroutines;
+// run under -race this is the concurrency guarantee of the package.
+func TestConcurrentEmitters(t *testing.T) {
+	tr := NewTracer(nil)
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				root := tr.Span(nil, csi.Flink, csi.ControlPlane, fmt.Sprintf("req-%d-%d", w, i))
+				child := root.Child(csi.YARN, csi.ControlPlane, "allocate")
+				child.Set("worker", fmt.Sprint(w))
+				if i%7 == 0 {
+					child.Fail(fmt.Errorf("alloc failed"))
+				}
+				child.End()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans := tr.Snapshot()
+	if len(spans) != workers*perWorker*2 {
+		t.Fatalf("got %d spans, want %d", len(spans), workers*perWorker*2)
+	}
+	byID := map[int64]Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.ParentID == 0 {
+			continue
+		}
+		parent, ok := byID[s.ParentID]
+		if !ok {
+			t.Fatalf("span %d has unknown parent %d", s.ID, s.ParentID)
+		}
+		// Parent/child ordering: a child starts after its parent and
+		// the parent (ended after the child in this workload) ends
+		// after the child ends.
+		if s.StartMs <= parent.StartMs {
+			t.Errorf("child %d started at %d, parent at %d", s.ID, s.StartMs, parent.StartMs)
+		}
+		if parent.EndMs < s.EndMs {
+			t.Errorf("parent %d ended at %d before child end %d", parent.ID, parent.EndMs, s.EndMs)
+		}
+	}
+}
+
+func TestWriteSpansJSONL(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Span(nil, csi.Spark, csi.DataPlane, "case")
+	root.Set("table", "t1")
+	root.Child(csi.HDFS, csi.DataPlane, "write").Fail(fmt.Errorf("safe mode")).End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteSpans(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var row map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row["system"] != "HDFS" || row["error"] != "safe mode" || row["plane"] != "Data" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) Now() int64 { return c.t }
+
+func TestSetClock(t *testing.T) {
+	tr := NewTracer(nil)
+	clk := &fakeClock{t: 42}
+	tr.SetClock(clk)
+	sp := tr.Span(nil, csi.YARN, csi.ControlPlane, "alloc")
+	clk.t = 99
+	sp.End()
+	got := tr.Snapshot()[0]
+	if got.StartMs != 42 || got.EndMs != 99 {
+		t.Errorf("span times = %d..%d, want 42..99", got.StartMs, got.EndMs)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Span(nil, csi.Spark, csi.DataPlane, "case")
+		sp.Child(csi.HDFS, csi.DataPlane, "write").Fail(nil).End()
+		sp.End()
+	}
+}

@@ -7,11 +7,14 @@ package replay
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/csi"
 	"repro/internal/flinksim"
 	"repro/internal/hbasesim"
 	"repro/internal/hdfssim"
 	"repro/internal/kafkasim"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/yarnsim"
 )
@@ -41,6 +44,9 @@ type StormOptions struct {
 	HeartbeatMs int64 // Flink's request interval (500 ms in the issue)
 	AllocMs     int64 // YARN's per-container allocation latency
 	HorizonMs   int64 // virtual-time budget
+	// Tracer, when non-nil, records the Flink↔YARN span tree on the
+	// scenario's virtual clock.
+	Tracer *obs.Tracer
 }
 
 // ContainerStorm replays FLINK-12342: a Flink job requesting Target
@@ -67,9 +73,18 @@ func ContainerStorm(opts StormOptions) StormResult {
 		HeartbeatMs: opts.HeartbeatMs,
 		Ask:         yarnsim.Resource{MemoryMB: 1024, Vcores: 1},
 	})
+	var root *obs.Span
+	if opts.Tracer != nil {
+		opts.Tracer.SetClock(sim)
+		root = opts.Tracer.Span(nil, csi.Flink, csi.ControlPlane, "flink-12342/job").
+			Set("mode", opts.Mode.String()).Set("target", strconv.Itoa(opts.Target))
+		client.SetTrace(opts.Tracer, root)
+		rm.SetTrace(opts.Tracer, root)
+	}
 	client.Start()
 	sim.Run(opts.HorizonMs)
 	client.Stop()
+	root.End()
 	res := StormResult{
 		Mode:           opts.Mode,
 		Target:         opts.Target,
@@ -106,13 +121,26 @@ func FixLadder() []StormResult {
 // assertion and fails on compressed files; with true it applies the
 // Figure 4 fix (`length >= -1`).
 func CompressedFileRead(compressed, fixedCheck bool) ([]byte, error) {
+	return CompressedFileReadTraced(compressed, fixedCheck, nil)
+}
+
+// CompressedFileReadTraced is CompressedFileRead with span emission:
+// the Spark-side job span parents the HDFS write/stat/read spans, and
+// the length assertion gets its own (failing, when buggy) span.
+func CompressedFileReadTraced(compressed, fixedCheck bool, tr *obs.Tracer) ([]byte, error) {
 	fs := hdfssim.New(nil)
+	root := tr.Span(nil, csi.Spark, csi.DataPlane, "input-file-read").
+		Set("compressed", strconv.FormatBool(compressed))
+	defer root.End()
+	fs.SetTrace(tr, root)
 	path := "/warehouse/events/part-00000"
 	if err := fs.Write(path, []byte("row1\nrow2\n"), hdfssim.WriteOptions{Compress: compressed}); err != nil {
+		root.Fail(err)
 		return nil, err
 	}
 	info, err := fs.Stat(path)
 	if err != nil {
+		root.Fail(err)
 		return nil, err
 	}
 	// Spark's InputFileBlockHolder requirement.
@@ -121,9 +149,17 @@ func CompressedFileRead(compressed, fixedCheck bool) ([]byte, error) {
 		min = -1
 	}
 	if info.Length < min {
-		return nil, fmt.Errorf("spark: requirement failed: length (%d) cannot be negative", info.Length)
+		err := fmt.Errorf("spark: requirement failed: length (%d) cannot be negative", info.Length)
+		root.Child(csi.Spark, csi.DataPlane, "length-check").
+			Set("length", strconv.FormatInt(info.Length, 10)).Fail(err).End()
+		root.Fail(err)
+		return nil, err
 	}
-	return fs.Read(path)
+	root.Child(csi.Spark, csi.DataPlane, "length-check").
+		Set("length", strconv.FormatInt(info.Length, 10)).End()
+	data, err := fs.Read(path)
+	root.Fail(err)
+	return data, err
 }
 
 // SchedulerMismatch replays FLINK-19141 (Figure 3): a Flink deployment
@@ -132,6 +168,13 @@ func CompressedFileRead(compressed, fixedCheck bool) ([]byte, error) {
 // ("capacity" or "fair"). The tunedKeys are the configuration the
 // operator set. It returns the allocation error, if any.
 func SchedulerMismatch(schedulerClass string, tunedKeys map[string]string) error {
+	return SchedulerMismatchTraced(schedulerClass, tunedKeys, nil)
+}
+
+// SchedulerMismatchTraced is SchedulerMismatch with span emission: the
+// Flink-side submission span parents the YARN request/allocate spans,
+// so a mis-normalized ask renders as Flink → YARN ✗.
+func SchedulerMismatchTraced(schedulerClass string, tunedKeys map[string]string, tr *obs.Tracer) error {
 	conf := yarnsim.Config{
 		yarnsim.KeySchedulerClass: schedulerClass,
 		yarnsim.KeyMaxAllocMB:     "1500",
@@ -141,11 +184,52 @@ func SchedulerMismatch(schedulerClass string, tunedKeys map[string]string) error
 	}
 	sim := vclock.New()
 	rm := yarnsim.New(sim, yarnsim.Options{Conf: conf})
+	var root *obs.Span
+	if tr != nil {
+		tr.SetClock(sim)
+		root = tr.Span(nil, csi.Flink, csi.ControlPlane, "submit-job").
+			Set("scheduler", schedulerClass)
+		rm.SetTrace(tr, root)
+	}
 	var allocErr error
 	rm.RequestContainers(1, yarnsim.Resource{MemoryMB: 1100, Vcores: 1},
 		nil, func(err error) { allocErr = err })
 	sim.Run(10000)
+	root.Fail(allocErr).End()
 	return allocErr
+}
+
+// Scenario23Trace replays one of the three §2.3 scenarios (storm,
+// filesize, scheduler) in its buggy form under a fresh tracer and
+// returns the recorded trace.
+func Scenario23Trace(name string) (*obs.Tracer, error) {
+	tr := obs.NewTracer(nil)
+	switch name {
+	case "storm":
+		ContainerStorm(StormOptions{Mode: flinksim.ModeBuggy, Tracer: tr})
+	case "filesize":
+		if _, err := CompressedFileReadTraced(true, false, tr); err == nil {
+			return nil, fmt.Errorf("replay: buggy length check unexpectedly passed")
+		}
+	case "scheduler":
+		err := SchedulerMismatchTraced("fair", map[string]string{yarnsim.KeyMinAllocMB: "128"}, tr)
+		if err == nil {
+			return nil, fmt.Errorf("replay: fair scheduler unexpectedly allocated the capacity-tuned ask")
+		}
+	default:
+		return nil, fmt.Errorf("replay: unknown §2.3 scenario %q", name)
+	}
+	return tr, nil
+}
+
+// Scenario23Chain renders the cross-system propagation chain of a §2.3
+// scenario's buggy replay.
+func Scenario23Chain(name string) (string, error) {
+	tr, err := Scenario23Trace(name)
+	if err != nil {
+		return "", err
+	}
+	return obs.RenderChain(tr.Chain(nil)), nil
 }
 
 // PmemKill replays FLINK-887: a JobManager container sized with or

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/csi"
 	"repro/internal/hivesim"
+	"repro/internal/obs"
 	"repro/internal/serde"
 	"repro/internal/sqlval"
 )
@@ -50,10 +52,25 @@ func (df *DataFrame) Collect() []sqlval.Row { return df.rows }
 // case-preserving Spark schema is persisted for every format) if it
 // does not exist, and appending otherwise.
 func (df *DataFrame) SaveAsTable(name, format string) error {
+	return df.SaveAsTableSpan(nil, name, format)
+}
+
+// SaveAsTableSpan is SaveAsTable under an explicit parent span; the
+// save gets a Spark data-plane span with metastore/SerDe/HDFS children.
+func (df *DataFrame) SaveAsTableSpan(parent *obs.Span, name, format string) error {
+	s := df.sess
+	sp := s.tracer.Span(parent, csi.Spark, csi.DataPlane, "dataframe/save")
+	sp.Set("table", name).Set("format", format)
+	err := df.saveAsTable(sp, name, format)
+	sp.Fail(err).End()
+	return err
+}
+
+func (df *DataFrame) saveAsTable(sp *obs.Span, name, format string) error {
 	s := df.sess
 	table, err := s.ms.GetTable(name)
 	if errors.Is(err, hivesim.ErrNoSuchTable) {
-		table, err = s.createTable(name, df.schema.Columns, nil, format, true)
+		table, err = s.createTable(sp, name, df.schema.Columns, nil, format, true)
 	}
 	if err != nil {
 		return err
@@ -74,7 +91,7 @@ func (df *DataFrame) SaveAsTable(name, format string) error {
 			rows[r] = out
 		}
 	}
-	return s.writeRows(table, schema, rows, true)
+	return s.writeRows(sp, table, schema, rows, true)
 }
 
 // Table reads a warehouse table through the DataFrame interface. Unlike
@@ -82,7 +99,22 @@ func (df *DataFrame) SaveAsTable(name, format string) error {
 // when the strict native reader fails — the IncompatibleSchemaException
 // of SPARK-39075 escapes to the caller.
 func (s *Session) Table(name string) (*Result, error) {
+	return s.TableSpan(nil, name)
+}
+
+// TableSpan is Table under an explicit parent span.
+func (s *Session) TableSpan(parent *obs.Span, name string) (*Result, error) {
+	sp := s.tracer.Span(parent, csi.Spark, csi.DataPlane, "dataframe/scan")
+	sp.Set("table", name)
+	res, err := s.tableScan(sp, name)
+	sp.Fail(err).End()
+	return res, err
+}
+
+func (s *Session) tableScan(sp *obs.Span, name string) (*Result, error) {
 	table, err := s.ms.GetTable(name)
+	sp.Child(csi.Hive, csi.DataPlane, "metastore/get-table").
+		Set("table", name).Fail(err).End()
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +126,7 @@ func (s *Session) Table(name string) (*Result, error) {
 	if !fromProps {
 		warnings = append(warnings, fallbackWarning(table.Name))
 	}
-	rows, err := s.readTable(table, schema, true)
+	rows, err := s.readTable(sp, table, schema, true)
 	if err != nil {
 		return nil, err
 	}

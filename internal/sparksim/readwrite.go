@@ -5,8 +5,10 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/csi"
 	"repro/internal/hdfssim"
 	"repro/internal/hivesim"
+	"repro/internal/obs"
 	"repro/internal/serde"
 	"repro/internal/sqlval"
 )
@@ -71,7 +73,7 @@ func (s *Session) truncate(table *hivesim.Table) error {
 // schema for SparkSQL inserts, the case-preserving Spark schema for
 // DataFrame saves. legacyDecimal selects the DataFrame writer's binary
 // decimal encoding.
-func (s *Session) writeRows(table *hivesim.Table, fileSchema serde.Schema, rows []sqlval.Row, legacyDecimal bool) error {
+func (s *Session) writeRows(sp *obs.Span, table *hivesim.Table, fileSchema serde.Schema, rows []sqlval.Row, legacyDecimal bool) error {
 	meta := map[string]string{
 		serde.MetaWriterEngine: "spark",
 		serde.MetaSparkSchema:  encodeSchemaDDL(fileSchema),
@@ -146,11 +148,20 @@ func (s *Session) writeRows(table *hivesim.Table, fileSchema serde.Schema, rows 
 	}
 	for _, dir := range order {
 		data, err := format.Encode(outSchema, meta, groups[dir])
+		if sp != nil {
+			sp.Child(csi.SerDe, csi.DataPlane, table.Format+"/encode").
+				Set("rows", strconv.Itoa(len(groups[dir]))).Fail(err).End()
+		}
 		if err != nil {
 			return err
 		}
 		path := s.ms.NextPartIn(table, dir)
-		if err := s.fs.Write(path, data, hdfssim.WriteOptions{Overwrite: true}); err != nil {
+		err = s.fs.Write(path, data, hdfssim.WriteOptions{Overwrite: true})
+		if sp != nil {
+			sp.Child(csi.HDFS, csi.DataPlane, "warehouse/write").
+				Set("path", path).Fail(err).End()
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -161,7 +172,7 @@ func (s *Session) writeRows(table *hivesim.Table, fileSchema serde.Schema, rows 
 // catalog schema. In strict mode the Avro deserializer requires the
 // file schema to reconcile exactly (SPARK-39075); lenient mode is the
 // Hive-schema fallback path.
-func (s *Session) readTable(table *hivesim.Table, schema serde.Schema, strict bool) ([]sqlval.Row, error) {
+func (s *Session) readTable(sp *obs.Span, table *hivesim.Table, schema serde.Schema, strict bool) ([]sqlval.Row, error) {
 	format, err := serde.ByName(table.Format)
 	if err != nil {
 		return nil, err
@@ -169,15 +180,28 @@ func (s *Session) readTable(table *hivesim.Table, schema serde.Schema, strict bo
 	var out []sqlval.Row
 	for _, path := range s.fs.List(table.Location) {
 		data, err := s.fs.Read(path)
+		if sp != nil {
+			sp.Child(csi.HDFS, csi.DataPlane, "warehouse/read").
+				Set("path", path).Fail(err).End()
+		}
 		if err != nil {
 			return nil, err
 		}
+		// One SerDe span covers the decode and the schema conversion of
+		// the file's rows: a reconciliation failure (SPARK-39075) is a
+		// SerDe-boundary failure.
+		var dec *obs.Span
+		if sp != nil {
+			dec = sp.Child(csi.SerDe, csi.DataPlane, table.Format+"/decode")
+		}
 		file, err := format.Decode(data)
 		if err != nil {
+			dec.Fail(err).End()
 			return nil, err
 		}
 		partVals, err := hivesim.ParsePartitionValues(table, path, sparkUnescapePartitionValue, sqlval.CastLegacy)
 		if err != nil {
+			dec.Fail(err).End()
 			return nil, err
 		}
 		resolve := s.columnResolver(file.Schema, schema.Columns)
@@ -192,6 +216,7 @@ func (s *Session) readTable(table *hivesim.Table, schema serde.Schema, strict bo
 				}
 				v, err := s.convertRead(table, col, file.Schema.Columns[idx].Type, fileRow[idx], strict, readTransform)
 				if err != nil {
+					dec.Fail(err).End()
 					return nil, err
 				}
 				row[i] = v
@@ -199,6 +224,7 @@ func (s *Session) readTable(table *hivesim.Table, schema serde.Schema, strict bo
 			row = append(row, partVals.Clone()...)
 			out = append(out, row)
 		}
+		dec.End()
 	}
 	return out, nil
 }

@@ -5,8 +5,10 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/csi"
 	"repro/internal/hdfssim"
 	"repro/internal/hivesim"
+	"repro/internal/obs"
 	"repro/internal/serde"
 	"repro/internal/sqlval"
 )
@@ -41,9 +43,10 @@ func (e *IncompatibleSchemaError) Error() string {
 // Session is a Spark session bound to a Hive metastore and warehouse
 // through the Hive connector.
 type Session struct {
-	conf *Conf
-	ms   *hivesim.Metastore
-	fs   *hdfssim.FileSystem
+	conf   *Conf
+	ms     *hivesim.Metastore
+	fs     *hdfssim.FileSystem
+	tracer *obs.Tracer
 }
 
 // NewSession creates a session over the shared metastore and file
@@ -57,6 +60,12 @@ func (s *Session) Conf() *Conf { return s.conf }
 
 // Metastore returns the connected Hive metastore.
 func (s *Session) Metastore() *hivesim.Metastore { return s.ms }
+
+// SetTracer attaches an observability tracer. Spans are threaded
+// explicitly through the *Span entry points (SQLSpan, SaveAsTableSpan,
+// TableSpan), so a session shared by concurrent harness workers stays
+// race-free: there is no mutable "current span" on the session.
+func (s *Session) SetTracer(tr *obs.Tracer) { s.tracer = tr }
 
 // --- schema DDL property encoding ------------------------------------
 
@@ -164,7 +173,7 @@ func stripCharVarchar(t sqlval.Type) sqlval.Type {
 // creation (SparkSQL STORED AS) persists the Spark schema only for ORC
 // and Parquet — schema inference "only works with ORC and Parquet" —
 // while DataFrame saveAsTable persists it for every format.
-func (s *Session) createTable(name string, cols, partCols []serde.Column, format string, datasource bool) (*hivesim.Table, error) {
+func (s *Session) createTable(sp *obs.Span, name string, cols, partCols []serde.Column, format string, datasource bool) (*hivesim.Table, error) {
 	if _, err := serde.ByName(format); err != nil {
 		return nil, err
 	}
@@ -178,7 +187,10 @@ func (s *Session) createTable(name string, cols, partCols []serde.Column, format
 	if datasource || format != "avro" {
 		props[PropSparkSchema] = encodeSchemaDDL(serde.Schema{Columns: cols})
 	}
-	return s.ms.CreateTablePartitioned(name, msCols, partCols, format, props)
+	t, err := s.ms.CreateTablePartitioned(name, msCols, partCols, format, props)
+	sp.Child(csi.Hive, csi.DataPlane, "metastore/create-table").
+		Set("table", name).Set("format", format).Fail(err).End()
+	return t, err
 }
 
 // --- legacy binary decimal encoding -----------------------------------

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/csi"
 	"repro/internal/hivesim"
+	"repro/internal/obs"
 	"repro/internal/serde"
 	"repro/internal/sqlparse"
 	"repro/internal/sqlval"
@@ -17,25 +19,44 @@ const DefaultSQLFormat = "parquet"
 
 // SQL executes one SparkSQL statement.
 func (s *Session) SQL(query string) (*Result, error) {
+	return s.SQLSpan(nil, query)
+}
+
+// SQLSpan executes one SparkSQL statement under an explicit parent
+// span. The statement gets a Spark data-plane span with children for
+// every cross-system boundary it crosses (metastore calls, SerDe
+// encode/decode, warehouse file I/O). With no tracer attached this is
+// exactly SQL.
+func (s *Session) SQLSpan(parent *obs.Span, query string) (*Result, error) {
+	sp := s.tracer.Span(parent, csi.Spark, csi.DataPlane, "sparksql")
+	res, err := s.sqlDispatch(sp, query)
+	sp.Fail(err).End()
+	return res, err
+}
+
+func (s *Session) sqlDispatch(sp *obs.Span, query string) (*Result, error) {
 	stmt, err := sqlparse.Parse(query)
 	if err != nil {
 		return nil, err
 	}
 	switch st := stmt.(type) {
 	case *sqlparse.CreateTable:
-		return s.sqlCreate(st)
+		return s.sqlCreate(sp, st)
 	case *sqlparse.DropTable:
-		return &Result{}, s.ms.DropTable(st.Table, st.IfExists)
+		err := s.ms.DropTable(st.Table, st.IfExists)
+		sp.Child(csi.Hive, csi.ManagementPlane, "metastore/drop-table").
+			Set("table", st.Table).Fail(err).End()
+		return &Result{}, err
 	case *sqlparse.Insert:
-		return s.sqlInsert(st)
+		return s.sqlInsert(sp, st)
 	case *sqlparse.Select:
-		return s.sqlSelect(st)
+		return s.sqlSelect(sp, st)
 	default:
 		return nil, fmt.Errorf("spark: unsupported statement %T", stmt)
 	}
 }
 
-func (s *Session) sqlCreate(st *sqlparse.CreateTable) (*Result, error) {
+func (s *Session) sqlCreate(sp *obs.Span, st *sqlparse.CreateTable) (*Result, error) {
 	format := st.Format
 	if format == "" {
 		format = DefaultSQLFormat
@@ -48,7 +69,7 @@ func (s *Session) sqlCreate(st *sqlparse.CreateTable) (*Result, error) {
 	for i, c := range st.PartitionedBy {
 		partCols[i] = serde.Column{Name: c.Name, Type: c.Type}
 	}
-	_, err := s.createTable(st.Table, cols, partCols, format, false)
+	_, err := s.createTable(sp, st.Table, cols, partCols, format, false)
 	if err != nil && st.IfNotExists && errors.Is(err, hivesim.ErrTableExists) {
 		return &Result{}, nil
 	}
@@ -62,8 +83,10 @@ func (s *Session) evalMode() sqlval.CastMode {
 	return sqlval.CastLegacy
 }
 
-func (s *Session) sqlInsert(st *sqlparse.Insert) (*Result, error) {
+func (s *Session) sqlInsert(sp *obs.Span, st *sqlparse.Insert) (*Result, error) {
 	table, err := s.ms.GetTable(st.Table)
+	sp.Child(csi.Hive, csi.DataPlane, "metastore/get-table").
+		Set("table", st.Table).Fail(err).End()
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +117,7 @@ func (s *Session) sqlInsert(st *sqlparse.Insert) (*Result, error) {
 			return nil, err
 		}
 	}
-	if err := s.writeRows(table, schema, rows, false); err != nil {
+	if err := s.writeRows(sp, table, schema, rows, false); err != nil {
 		return nil, err
 	}
 	return &Result{}, nil
@@ -127,8 +150,10 @@ func (s *Session) sqlInsertCast(v sqlval.Value, to sqlval.Type) (sqlval.Value, e
 	return out, nil
 }
 
-func (s *Session) sqlSelect(st *sqlparse.Select) (*Result, error) {
+func (s *Session) sqlSelect(sp *obs.Span, st *sqlparse.Select) (*Result, error) {
 	table, err := s.ms.GetTable(st.Table)
+	sp.Child(csi.Hive, csi.DataPlane, "metastore/get-table").
+		Set("table", st.Table).Fail(err).End()
 	if err != nil {
 		return nil, err
 	}
@@ -140,14 +165,14 @@ func (s *Session) sqlSelect(st *sqlparse.Select) (*Result, error) {
 	if !fromProps {
 		warnings = append(warnings, fallbackWarning(table.Name))
 	}
-	rows, err := s.readTable(table, schema, true)
+	rows, err := s.readTable(sp, table, schema, true)
 	if err != nil && fromProps {
 		// SparkSQL's Hive-table read path survives strict-reader failures
 		// by falling back to the Hive metastore schema, which is not case
 		// preserving (HIVE-26533 / SPARK-40409).
 		warnings = append(warnings, fallbackWarning(table.Name)+fmt.Sprintf(" (native read failed: %v)", err))
 		schema = table.Schema()
-		rows, err = s.readTable(table, schema, false)
+		rows, err = s.readTable(sp, table, schema, false)
 	}
 	if err != nil {
 		return nil, err

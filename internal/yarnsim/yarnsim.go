@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/csi"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -133,6 +135,9 @@ type ResourceManager struct {
 
 	pmemMonitor *vclock.Timer
 	metricsMode bool
+
+	tracer   *obs.Tracer
+	traceTop *obs.Span
 }
 
 // Options configure a ResourceManager.
@@ -180,6 +185,15 @@ func New(sim *vclock.Sim, opts Options) *ResourceManager {
 // Scheduler returns the active scheduler kind.
 func (rm *ResourceManager) Scheduler() SchedulerKind { return rm.sched }
 
+// SetTrace attaches a tracer and default parent span; the RM then
+// emits spans for container requests, allocations, and pmem kills.
+// The RM runs single-threaded on the vclock scheduler, so no locking
+// is needed. A nil tracer disables emission.
+func (rm *ResourceManager) SetTrace(tr *obs.Tracer, parent *obs.Span) {
+	rm.tracer = tr
+	rm.traceTop = parent
+}
+
 // normalize rounds an ask up to the scheduler's allocation granularity.
 // This is where the configuration discrepancy bites: each scheduler
 // consults its own keys and ignores the other's.
@@ -218,14 +232,23 @@ func (rm *ResourceManager) normalize(ask Resource) (Resource, error) {
 func (rm *ResourceManager) RequestContainers(n int, ask Resource,
 	onAllocated func(*Container), onError func(error)) {
 	rm.requestsReceived += int64(n)
+	var req *obs.Span
+	if rm.tracer != nil {
+		req = rm.tracer.Span(rm.traceTop, csi.YARN, csi.ControlPlane, "request-containers").
+			Set("n", strconv.Itoa(n)).
+			Set("ask_mb", strconv.FormatInt(ask.MemoryMB, 10)).
+			Set("scheduler", rm.sched.String())
+	}
 	norm, err := rm.normalize(ask)
 	if err != nil {
 		rm.allocationFailures += int64(n)
+		req.Fail(err).End()
 		if onError != nil {
 			onError(err)
 		}
 		return
 	}
+	req.End()
 	if rm.allocFreeAtMs < rm.sim.Now() {
 		rm.allocFreeAtMs = rm.sim.Now()
 	}
@@ -237,8 +260,10 @@ func (rm *ResourceManager) RequestContainers(n int, ask Resource,
 		rm.sim.After(delay, func() {
 			if rm.usedMB+norm.MemoryMB > rm.capacityMB {
 				rm.allocationFailures++
+				err := &AllocationError{Ask: norm, Reason: "cluster out of memory"}
+				req.Child(csi.YARN, csi.ControlPlane, "allocate").Fail(err).End()
 				if onError != nil {
-					onError(&AllocationError{Ask: norm, Reason: "cluster out of memory"})
+					onError(err)
 				}
 				return
 			}
@@ -247,6 +272,8 @@ func (rm *ResourceManager) RequestContainers(n int, ask Resource,
 			rm.usedMB += norm.MemoryMB
 			rm.containers[c.ID] = c
 			rm.containersGranted++
+			req.Child(csi.YARN, csi.ControlPlane, "allocate").
+				Set("container", strconv.FormatInt(c.ID, 10)).End()
 			if onAllocated != nil {
 				onAllocated(c)
 			}
@@ -285,6 +312,11 @@ func (rm *ResourceManager) StartPmemMonitor(intervalMs int64, onKill func(*Conta
 				"Container [%d] is running beyond physical memory limits: %d MB used, %d MB requested. Killing container.",
 				c.ID, c.PmemUsedMB, c.Resource.MemoryMB)
 			rm.pmemKills++
+			if rm.tracer != nil {
+				rm.tracer.Span(rm.traceTop, csi.YARN, csi.ManagementPlane, "pmem-kill").
+					Set("container", strconv.FormatInt(c.ID, 10)).
+					Fail(fmt.Errorf("%s", c.KillReason)).End()
+			}
 			rm.Release(c.ID)
 			if onKill != nil {
 				onKill(c)
