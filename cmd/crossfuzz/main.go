@@ -1,0 +1,115 @@
+// Command crossfuzz runs a randomized cross-system fuzzing campaign
+// over the simulated Spark-Hive data plane: seeded random multi-column
+// schemas, typed boundary/invalid values, session configurations, and
+// interface/format assignments, executed through the §8 harness and its
+// three oracles. Failing cases are clustered by discrepancy signature;
+// signatures outside the known Figure-6 registry are delta-debugged to
+// minimal reproducers and (with -promote) persisted into the regression
+// corpus.
+//
+// Usage:
+//
+//	crossfuzz [-seed N] [-n N] [-parallel N] [-budget DUR] [-corpus dir]
+//	          [-promote] [-trace dir] [-metrics file]
+//
+// A fixed (-seed, -n) campaign without -budget is reproducible bit for
+// bit: the printed report-hash is identical run-to-run and across
+// -parallel settings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fuzzgen"
+	"repro/internal/obs"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "campaign seed (fixed seed + fixed -n is reproducible)")
+	n := flag.Int("n", 2000, "number of generated probe groups")
+	parallel := flag.Int("parallel", 1, "worker goroutines per batch")
+	budget := flag.Duration("budget", 0, "wall-time budget (0 = none; budget-stopped campaigns are not reproducible)")
+	corpus := flag.String("corpus", "testdata/fuzzcorpus", "regression corpus directory (dedup + promotion target)")
+	promote := flag.Bool("promote", false, "write minimized new-signature reproducers into -corpus")
+	confs := flag.Int("confs", 6, "size of the random session-configuration pool")
+	traceDir := flag.String("trace", "", "record causal spans and write them to <dir>/spans.jsonl")
+	metricsFile := flag.String("metrics", "", "write Prometheus-text harness metrics to this file (\"-\" for stdout)")
+	flag.Parse()
+
+	opts := fuzzgen.Options{
+		Seed:      *seed,
+		N:         *n,
+		Parallel:  *parallel,
+		Budget:    *budget,
+		Confs:     *confs,
+		CorpusDir: *corpus,
+	}
+	if *traceDir != "" {
+		opts.Tracer = obs.NewTracer(nil)
+	}
+	if *metricsFile != "" {
+		opts.Metrics = obs.NewRegistry()
+	}
+
+	res, err := fuzzgen.RunCampaign(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crossfuzz: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+	fmt.Printf("\nreport-hash: %s\n", res.Hash())
+	fmt.Printf("elapsed: %s\n", res.Elapsed.Round(time.Millisecond))
+
+	if *promote && len(res.Reproducers) > 0 {
+		files, err := res.Promote(*corpus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crossfuzz: promote: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("promoted %d reproducer(s):\n", len(files))
+		for _, f := range files {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "crossfuzz: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*traceDir, "spans.jsonl"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crossfuzz: %v\n", err)
+			os.Exit(1)
+		}
+		if err := opts.Tracer.WriteSpans(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "crossfuzz: writing spans: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d spans to %s\n", opts.Tracer.Len(), filepath.Join(*traceDir, "spans.jsonl"))
+	}
+	if *metricsFile != "" {
+		if err := writeMetrics(opts.Metrics, *metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "crossfuzz: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeMetrics(reg *obs.Registry, dest string) error {
+	if dest == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WritePrometheus(f)
+}

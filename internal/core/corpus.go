@@ -247,6 +247,15 @@ func BuildBaseCorpus() ([]Input, error) {
 	return inputs, nil
 }
 
+// MakeInput builds one Input from an explicit spec — the entry point
+// generative workloads (internal/fuzzgen) use to turn randomized
+// (type, literal) pairs into harness inputs. Valid inputs must coerce
+// under ANSI semantics (the Expected value); callers that guessed
+// validity wrong get an error and can downgrade the spec to invalid.
+func MakeInput(id int, name, typ, literal string, valid bool) (Input, error) {
+	return buildInput(id, inputSpec{name: name, typ: typ, literal: literal, valid: valid})
+}
+
 func buildInput(id int, s inputSpec) (Input, error) {
 	typ, err := sqlval.ParseType(s.typ)
 	if err != nil {

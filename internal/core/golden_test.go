@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/csi"
+)
+
+// TestGoldenFigure6Clusters pins the fixed §8 corpus run end-to-end:
+// the fifteen discrepancy clusters (count AND cluster keys) plus the
+// per-oracle failure totals. A refactor that silently loses a Figure-6
+// finding — or reclassifies one under a different signature — fails
+// here, not in production.
+func TestGoldenFigure6Clusters(t *testing.T) {
+	res, err := Run(corpus(t), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKnown := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	if got := res.Report.DistinctKnown(); !reflect.DeepEqual(got, wantKnown) {
+		t.Errorf("distinct known = %v, want %v", got, wantKnown)
+	}
+	// The cluster keys, in report order (registry number order).
+	wantSigs := []string{
+		"avro-incompatible-schema",
+		"legacy-binary-decimal",
+		"integral-widening",
+		"avro-map-key",
+		"insert-decimal-range",
+		"timestamp-zone",
+		"date-rebase",
+		"char-padding",
+		"insert-float-invalid",
+		"insert-int-range",
+		"insert-smallint-range",
+		"insert-datetime-invalid",
+		"insert-charlength",
+		"struct-null",
+		"insert-boolean-invalid",
+	}
+	var gotSigs []string
+	for _, f := range res.Report.Found {
+		gotSigs = append(gotSigs, f.Signature)
+	}
+	if !reflect.DeepEqual(gotSigs, wantSigs) {
+		t.Errorf("cluster keys = %q, want %q", gotSigs, wantSigs)
+	}
+	if len(res.Report.UnknownSignatures()) != 0 {
+		t.Errorf("fixed corpus produced unmapped signatures: %v", res.Report.UnknownSignatures())
+	}
+	// Per-oracle failure totals. These are deterministic for the fixed
+	// corpus; a drift here means an oracle got weaker or noisier.
+	wantOracle := map[csi.Oracle]int{
+		csi.OracleWriteRead:     66,
+		csi.OracleErrorHandling: 3212,
+		csi.OracleDifferential:  2555,
+	}
+	for o, want := range wantOracle {
+		if got := res.Report.ByOracle[o]; got != want {
+			t.Errorf("oracle %s failures = %d, want %d", o, got, want)
+		}
+	}
+	if got, want := len(res.Failures), 66+3212+2555; got != want {
+		t.Errorf("total failures = %d, want %d", got, want)
+	}
+}

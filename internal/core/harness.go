@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -72,6 +73,9 @@ type RunResult struct {
 // Run executes the full cross-test: every input × plan × format, then
 // applies the three oracles and clusters failures into discrepancies.
 func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
+	if opts.Parallel < 0 {
+		return nil, fmt.Errorf("core: Parallel must be non-negative, got %d", opts.Parallel)
+	}
 	d := NewDeployment()
 	for k, v := range opts.SparkConf {
 		d.Spark.Conf().Set(k, v)
@@ -134,28 +138,7 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 				Observe(float64(time.Since(started)) / float64(time.Millisecond))
 		}
 	}
-	if opts.Parallel > 1 {
-		var wg sync.WaitGroup
-		work := make(chan *CaseResult)
-		for w := 0; w < opts.Parallel; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for c := range work {
-					execute(c)
-				}
-			}()
-		}
-		for _, c := range cases {
-			work <- c
-		}
-		close(work)
-		wg.Wait()
-	} else {
-		for _, c := range cases {
-			execute(c)
-		}
-	}
+	runPool(opts.Parallel, cases, execute)
 
 	failures := applyOracles(cases)
 	if opts.Tracer != nil {
@@ -175,6 +158,35 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 		Failures: failures,
 		Report:   report,
 	}, nil
+}
+
+// runPool drains work through n worker goroutines (n < 2 runs
+// sequentially). Workers only write into their own work item, so the
+// caller observes results in the deterministic order of the slice
+// regardless of scheduling.
+func runPool[T any](n int, items []T, run func(T)) {
+	if n > 1 {
+		var wg sync.WaitGroup
+		work := make(chan T)
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for it := range work {
+					run(it)
+				}
+			}()
+		}
+		for _, it := range items {
+			work <- it
+		}
+		close(work)
+		wg.Wait()
+		return
+	}
+	for _, it := range items {
+		run(it)
+	}
 }
 
 func applyOracles(cases []*CaseResult) []Failure {
@@ -270,8 +282,17 @@ func differentialOracle(cases []*CaseResult) []Failure {
 }
 
 func diffGroups(groups map[string][]*CaseResult, scope string) []Failure {
+	// Iterate in sorted key order: failure order (and therefore cluster
+	// membership order and report examples) must not depend on map
+	// iteration, or two identical runs render different reports.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var out []Failure
-	for _, group := range groups {
+	for _, k := range keys {
+		group := groups[k]
 		if len(group) < 2 {
 			continue
 		}

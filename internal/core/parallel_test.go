@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunParallelEdgeValues table-drives Run over Parallel edge values:
+// negatives are an error (not a silent clamp), everything else must
+// produce the identical report — parallelism is an execution detail,
+// never a result detail.
+func TestRunParallelEdgeValues(t *testing.T) {
+	inputs := subset(t, "tinyint_", "char_", "decimal_", "struct_")
+	baseline, err := Run(inputs, RunOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Report.Render()
+
+	tests := []struct {
+		name     string
+		parallel int
+		wantErr  bool
+	}{
+		{"negative_one", -1, true},
+		{"negative_large", -64, true},
+		{"zero", 0, false},
+		{"one", 1, false},
+		{"two", 2, false},
+		{"eight", 8, false},
+		{"more_workers_than_cases", 10000, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(inputs, RunOptions{Parallel: tc.parallel})
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Parallel=%d: want error, got nil", tc.parallel)
+				}
+				if !strings.Contains(err.Error(), "Parallel") {
+					t.Errorf("error %q does not name Parallel", err)
+				}
+				if res != nil {
+					t.Errorf("Parallel=%d: want nil result with error", tc.parallel)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parallel=%d: %v", tc.parallel, err)
+			}
+			if got := res.Report.Render(); got != want {
+				t.Errorf("Parallel=%d report differs from sequential baseline", tc.parallel)
+			}
+		})
+	}
+}
+
+// TestRunTablesParallelValidation mirrors the negative-Parallel contract
+// on the explicit-assignment entry.
+func TestRunTablesParallelValidation(t *testing.T) {
+	if _, err := RunTables(nil, RunOptions{Parallel: -2}); err == nil {
+		t.Fatal("RunTables with negative Parallel: want error, got nil")
+	}
+	res, err := RunTables(nil, RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 0 || len(res.Failures) != 0 {
+		t.Errorf("empty RunTables produced cases=%d failures=%d", len(res.Cases), len(res.Failures))
+	}
+}

@@ -144,8 +144,13 @@ func (r *Report) Render() string {
 				fmt.Fprintf(&b, "    categories: %s\n", strings.Join(cats, ", "))
 			}
 			if len(f.Known.FixConf) > 0 {
-				for k, v := range f.Known.FixConf {
-					fmt.Fprintf(&b, "    resolved by: %s=%s\n", k, v)
+				keys := make([]string, 0, len(f.Known.FixConf))
+				for k := range f.Known.FixConf {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(&b, "    resolved by: %s=%s\n", k, f.Known.FixConf[k])
 				}
 			}
 		} else {

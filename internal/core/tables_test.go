@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/csi"
+)
+
+func mustInput(t *testing.T, id int, name, typ, lit string, valid bool) Input {
+	t.Helper()
+	in, err := MakeInput(id, name, typ, lit, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestRunTablesDifferentialPairing: two table cases sharing column
+// identity across formats form a differential probe group — the Avro
+// INT widening of TINYINT must surface as the integral-widening
+// discrepancy without materializing the full corpus matrix.
+func TestRunTablesDifferentialPairing(t *testing.T) {
+	in := mustInput(t, 7, "NarrowCol", "TINYINT", "5", true)
+	var plan Plan
+	for _, p := range Plans() {
+		if p.Name() == "w_df_r_hive" {
+			plan = p
+		}
+	}
+	cases := []*TableCase{
+		{Label: "tc_orc", Columns: []WideColumn{{Name: "NarrowCol", Input: in}}, Plan: plan, Format: "orc"},
+		{Label: "tc_avro", Columns: []WideColumn{{Name: "NarrowCol", Input: in}}, Plan: plan, Format: "avro"},
+	}
+	res, err := RunTables(cases, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 2 {
+		t.Fatalf("cases = %d, want 2 (one per column per table)", len(res.Cases))
+	}
+	var widening bool
+	for _, f := range res.Failures {
+		if f.Oracle == csi.OracleDifferential && f.Signature == "integral-widening" {
+			widening = true
+			if f.Peer == nil {
+				t.Error("differential failure without peer")
+			}
+		}
+	}
+	if !widening {
+		t.Errorf("no integral-widening differential failure; failures: %+v", res.Failures)
+	}
+}
+
+// TestRunTablesMultiColumn: per-column oracle granularity — an invalid
+// column in a multi-column row is detected without implicating its
+// valid neighbours when the write succeeds silently.
+func TestRunTablesMultiColumn(t *testing.T) {
+	valid := mustInput(t, 20, "GoodCol", "INT", "42", true)
+	invalid := mustInput(t, 21, "BadCol", "TINYINT", "999", false)
+	var plan Plan
+	for _, p := range Plans() {
+		if p.Name() == "w_df_r_df" {
+			plan = p
+		}
+	}
+	cases := []*TableCase{{
+		Label:   "tc_multi",
+		Columns: []WideColumn{{Name: "GoodCol", Input: valid}, {Name: "BadCol", Input: invalid}},
+		Plan:    plan,
+		Format:  "orc",
+	}}
+	res, err := RunTables(cases, RunOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 2 {
+		t.Fatalf("cases = %d, want one per column", len(res.Cases))
+	}
+	for _, f := range res.Failures {
+		if f.Case.Input.Name == "GoodCol" {
+			t.Errorf("valid column implicated: %s (%s)", f.Detail, f.Signature)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package fuzzgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/obs"
+)
+
+// Options configure a campaign.
+type Options struct {
+	// Seed is the campaign seed; a fixed (Seed, N) pair is reproducible
+	// run-to-run, bit for bit.
+	Seed uint64
+	// N is the number of generated probe groups.
+	N int
+	// Parallel is the harness worker count per batch (values below 2
+	// run sequentially; negative is an error).
+	Parallel int
+	// Budget bounds campaign wall time (0 = none). A budget-stopped
+	// campaign is NOT reproducible — the report says so.
+	Budget time.Duration
+	// Confs is the configuration-pool size (default 6; minimum 1, the
+	// default configuration).
+	Confs int
+	// CorpusDir, when set, dedups new signatures against the persisted
+	// corpus and is where Promote writes reproducers.
+	CorpusDir string
+	// Tracer and Metrics thread the observability layer through every
+	// batch, exactly as in core.Run.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+}
+
+// Cluster is one failure signature's campaign-level tally.
+type Cluster struct {
+	Signature string
+	Known     int // discrepancy number in the Figure-6 registry, 0 if new
+	Count     int
+	Example   string
+}
+
+// Reproducer is one minimized new-signature failure, as persisted to
+// the regression corpus.
+type Reproducer struct {
+	Signature     string `json:"signature"`
+	Detail        string `json:"detail"`
+	OriginalSize  int    `json:"original_size"`
+	MinimizedSize int    `json:"minimized_size"`
+	Case          Case   `json:"case"`
+}
+
+// Result is a campaign's outcome.
+type Result struct {
+	Opts        Options
+	Generated   int
+	Executed    int // probe groups actually run (< Generated when budget-stopped)
+	TableCases  int
+	Failures    int
+	Clusters    []Cluster
+	KnownHit    []int
+	NewSigs     []string
+	Reproducers []*Reproducer
+	Stopped     bool
+	Elapsed     time.Duration
+}
+
+// RunCampaign generates opts.N cases, executes them batched by session
+// configuration through core.RunTables, clusters the failures, and
+// shrinks the first-seen case of every signature outside the Figure-6
+// registry (and outside the persisted corpus) to a minimal reproducer.
+func RunCampaign(opts Options) (*Result, error) {
+	if opts.Parallel < 0 {
+		return nil, fmt.Errorf("fuzzgen: Parallel must be non-negative, got %d", opts.Parallel)
+	}
+	if opts.N < 0 {
+		return nil, fmt.Errorf("fuzzgen: N must be non-negative, got %d", opts.N)
+	}
+	if opts.Confs == 0 {
+		opts.Confs = 6
+	}
+	started := time.Now()
+	deadline := time.Time{}
+	if opts.Budget > 0 {
+		deadline = started.Add(opts.Budget)
+	}
+
+	g := NewGenerator(opts.Seed, opts.Confs)
+	res := &Result{Opts: opts}
+
+	// Known signatures: the Figure-6 registry plus whatever the corpus
+	// already holds — a signature is only "new" once.
+	knownSigs := inject.BySignature()
+	corpusSigs := map[string]bool{}
+	if opts.CorpusDir != "" {
+		existing, err := LoadCorpus(opts.CorpusDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range existing {
+			corpusSigs[r.Signature] = true
+		}
+	}
+
+	// Generate everything up front (generation is cheap and pure), then
+	// batch by configuration-pool index so each deployment is stood up
+	// once per configuration.
+	type genCase struct {
+		index int
+		c     Case
+		conf  int
+	}
+	cases := make([]*genCase, 0, opts.N)
+	confIndex := map[string]int{}
+	for i, conf := range g.ConfPool() {
+		confIndex[confKey(conf)] = i
+	}
+	for i := 0; i < opts.N; i++ {
+		c := g.Case(i)
+		cases = append(cases, &genCase{index: i, c: c, conf: confIndex[confKey(c.Conf)]})
+	}
+	res.Generated = len(cases)
+
+	clusters := map[string]*Cluster{}
+	firstBySig := map[string]*genCase{}
+	for confIdx := 0; confIdx < len(g.ConfPool()); confIdx++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Stopped = true
+			break
+		}
+		var batch []*core.TableCase
+		owner := map[*core.TableCase]*genCase{}
+		groups := 0
+		for _, gc := range cases {
+			if gc.conf != confIdx {
+				continue
+			}
+			tables, err := TableCases(&gc.c, gc.index)
+			if err != nil {
+				return nil, err
+			}
+			for _, tc := range tables {
+				owner[tc] = gc
+			}
+			batch = append(batch, tables...)
+			groups++
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		run, err := core.RunTables(batch, core.RunOptions{
+			SparkConf: g.ConfPool()[confIdx],
+			Parallel:  opts.Parallel,
+			Tracer:    opts.Tracer,
+			Metrics:   opts.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Executed += groups
+		res.TableCases += len(batch)
+		res.Failures += len(run.Failures)
+		for _, f := range run.Failures {
+			cl, ok := clusters[f.Signature]
+			if !ok {
+				cl = &Cluster{Signature: f.Signature}
+				if d, known := knownSigs[f.Signature]; known {
+					cl.Known = d.Number
+				}
+				clusters[f.Signature] = cl
+			}
+			cl.Count++
+			if cl.Example == "" {
+				cl.Example = f.Detail
+			}
+			if _, seen := firstBySig[f.Signature]; !seen {
+				// Failures attach to table cases via their label prefix;
+				// recover the owning generated case for shrinking.
+				for tc, gc := range owner {
+					if tc.Label == f.Case.Table {
+						firstBySig[f.Signature] = gc
+						break
+					}
+				}
+			}
+		}
+	}
+
+	sigs := make([]string, 0, len(clusters))
+	for s := range clusters {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	knownSet := map[int]bool{}
+	for _, s := range sigs {
+		cl := clusters[s]
+		res.Clusters = append(res.Clusters, *cl)
+		if cl.Known > 0 {
+			knownSet[cl.Known] = true
+			continue
+		}
+		res.NewSigs = append(res.NewSigs, s)
+		if corpusSigs[s] {
+			continue // already in the regression corpus
+		}
+		gc, ok := firstBySig[s]
+		if !ok {
+			continue
+		}
+		orig := cloneCase(gc.c)
+		min := Shrink(orig, s)
+		res.Reproducers = append(res.Reproducers, &Reproducer{
+			Signature:     s,
+			Detail:        cl.Example,
+			OriginalSize:  orig.Size(),
+			MinimizedSize: min.Size(),
+			Case:          min,
+		})
+	}
+	for n := range knownSet {
+		res.KnownHit = append(res.KnownHit, n)
+	}
+	sort.Ints(res.KnownHit)
+	res.Elapsed = time.Since(started)
+	return res, nil
+}
+
+// Promote writes the campaign's minimized reproducers into the corpus
+// directory and returns the files written.
+func (res *Result) Promote(dir string) ([]string, error) {
+	var files []string
+	for _, r := range res.Reproducers {
+		f, err := WriteReproducer(dir, r)
+		if err != nil {
+			return files, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// confKey fingerprints a configuration for batching.
+func confKey(conf map[string]string) string {
+	keys := make([]string, 0, len(conf))
+	for k := range conf {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, conf[k])
+	}
+	return b.String()
+}
+
+// Render produces the campaign report. It contains no timing, so a
+// fixed-seed unbudgeted campaign renders byte-identically run-to-run
+// and across Parallel settings — Hash over it is the reproducibility
+// check.
+func (res *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cross-system fuzz campaign\n")
+	fmt.Fprintf(&b, "==========================\n")
+	fmt.Fprintf(&b, "seed=%d n=%d confs=%d\n", res.Opts.Seed, res.Opts.N, res.Opts.Confs)
+	fmt.Fprintf(&b, "probe groups: %d, table cases: %d, oracle failures: %d\n", res.Executed, res.TableCases, res.Failures)
+	if res.Stopped {
+		fmt.Fprintf(&b, "NOTE: budget exhausted after %d of %d probe groups; this report is not reproducible\n", res.Executed, res.Generated)
+	}
+	fmt.Fprintf(&b, "\nclusters (%d):\n", len(res.Clusters))
+	for _, cl := range res.Clusters {
+		tag := "new"
+		if cl.Known > 0 {
+			tag = fmt.Sprintf("known #%d", cl.Known)
+		}
+		fmt.Fprintf(&b, "  %-28s %6d  (%s)\n", cl.Signature, cl.Count, tag)
+		fmt.Fprintf(&b, "      example: %s\n", cl.Example)
+	}
+	fmt.Fprintf(&b, "\nknown discrepancies hit: %v\n", res.KnownHit)
+	fmt.Fprintf(&b, "new signatures: %v\n", res.NewSigs)
+	if len(res.Reproducers) > 0 {
+		fmt.Fprintf(&b, "\nminimized reproducers:\n")
+		for _, r := range res.Reproducers {
+			fmt.Fprintf(&b, "  %-28s size %d -> %d: %s\n", r.Signature, r.OriginalSize, r.MinimizedSize, summarizeCase(r.Case))
+		}
+	}
+	return b.String()
+}
+
+// Hash is the reproducibility fingerprint: sha256 over the rendered
+// report.
+func (res *Result) Hash() string {
+	sum := sha256.Sum256([]byte(res.Render()))
+	return hex.EncodeToString(sum[:])
+}
+
+func summarizeCase(c Case) string {
+	var cols []string
+	for _, col := range c.Columns {
+		cols = append(cols, fmt.Sprintf("%s %s = %s", col.Name, col.Type, col.Literal))
+	}
+	var asn []string
+	for _, a := range c.Assignments {
+		asn = append(asn, a.Plan+"/"+a.Format)
+	}
+	s := fmt.Sprintf("[%s] via %s", strings.Join(cols, ", "), strings.Join(asn, ", "))
+	if len(c.Conf) > 0 {
+		s += " conf " + confKey(c.Conf)
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package fuzzgen
+
+import (
+	"testing"
+
+	"repro/internal/inject"
+)
+
+func TestCampaignFindsKnownDiscrepancies(t *testing.T) {
+	res, err := RunCampaign(Options{Seed: 1, N: 300, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != 300 {
+		t.Errorf("generated = %d, want 300", res.Generated)
+	}
+	if res.TableCases <= res.Generated {
+		t.Errorf("table cases = %d, want more than one per probe group on average", res.TableCases)
+	}
+	if len(res.KnownHit) < 10 {
+		t.Errorf("known discrepancies hit = %v, want at least 10 of the 15", res.KnownHit)
+	}
+	if res.Failures == 0 || len(res.Clusters) == 0 {
+		t.Error("campaign found nothing at all")
+	}
+}
+
+func TestCampaignNewSignaturesAreOutsideRegistry(t *testing.T) {
+	res, err := RunCampaign(Options{Seed: 2, N: 400, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := inject.BySignature()
+	for _, s := range res.NewSigs {
+		if _, ok := known[s]; ok {
+			t.Errorf("signature %q reported new but is in the Figure-6 registry", s)
+		}
+	}
+	for _, r := range res.Reproducers {
+		if _, ok := known[r.Signature]; ok {
+			t.Errorf("reproducer %q shrunk for a known signature", r.Signature)
+		}
+	}
+}
+
+// TestCampaignReproducersMinimizedAndReplayable: the acceptance
+// contract on shrinking — minimized strictly no larger than original,
+// and the minimized case still detects its signature.
+func TestCampaignReproducersMinimizedAndReplayable(t *testing.T) {
+	res, err := RunCampaign(Options{Seed: 2, N: 600, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reproducers) == 0 {
+		t.Skip("seed found no new signatures at this budget")
+	}
+	for _, r := range res.Reproducers {
+		if r.MinimizedSize > r.OriginalSize {
+			t.Errorf("%s: minimized size %d > original %d", r.Signature, r.MinimizedSize, r.OriginalSize)
+		}
+		if got := r.Case.Size(); got != r.MinimizedSize {
+			t.Errorf("%s: recorded minimized size %d, recomputed %d", r.Signature, r.MinimizedSize, got)
+		}
+		if !Detects(&r.Case, r.Signature) {
+			t.Errorf("%s: minimized reproducer no longer detects its signature", r.Signature)
+		}
+	}
+}
+
+func TestCampaignRejectsNegativeParallel(t *testing.T) {
+	if _, err := RunCampaign(Options{Seed: 1, N: 10, Parallel: -1}); err == nil {
+		t.Fatal("want error for negative Parallel")
+	}
+	if _, err := RunCampaign(Options{Seed: 1, N: -5}); err == nil {
+		t.Fatal("want error for negative N")
+	}
+}
+
+func TestShrinkPreservesSignatureAndShrinks(t *testing.T) {
+	// A hand-built case-collision schema with deliberate padding: two
+	// extra columns, a removable conf key, and a long literal.
+	c := Case{
+		Columns: []ColumnSpec{
+			{Name: "Amount", Type: "TINYINT", Literal: "5"},
+			{Name: "aMOUNT", Type: "INT", Literal: "123456"},
+			{Name: "Other", Type: "STRING", Literal: "'irrelevant-padding'"},
+		},
+		Conf: map[string]string{"spark.sql.session.timeZone": "UTC"},
+		Assignments: []Assignment{
+			{Plan: "w_sql_r_sql", Format: "orc"},
+			{Plan: "w_sql_r_df", Format: "orc"},
+		},
+	}
+	sig := "error-hive" // duplicate case-colliding columns
+	if !Detects(&c, sig) {
+		t.Fatal("hand-built collision case does not reproduce error-hive")
+	}
+	min := Shrink(c, sig)
+	if !Detects(&min, sig) {
+		t.Fatal("shrunk case lost the signature")
+	}
+	if min.Size() >= c.Size() {
+		t.Errorf("shrink did not reduce size: %d -> %d", c.Size(), min.Size())
+	}
+	if len(min.Columns) > 2 {
+		t.Errorf("shrink kept %d columns, the collision needs only 2", len(min.Columns))
+	}
+	if len(min.Conf) != 0 {
+		t.Errorf("shrink kept irrelevant conf %v", min.Conf)
+	}
+	if len(min.Assignments) != 1 {
+		t.Errorf("shrink kept %d assignments, want 1", len(min.Assignments))
+	}
+}

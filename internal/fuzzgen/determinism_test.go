@@ -1,0 +1,43 @@
+package fuzzgen
+
+import "testing"
+
+// TestCampaignDeterministicAcrossParallelism is the race-focused
+// reproducibility contract: the same campaign under Parallel: 8 and
+// Parallel: 1 must render byte-identical reports — concurrency is an
+// execution detail, and any ordering leak (map iteration, merge order,
+// shared state) breaks the fixed-seed guarantee. Run under -race this
+// also shakes out data races in the shared deployment.
+func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
+	concurrent, err := RunCampaign(Options{Seed: 99, N: 250, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential, err := RunCampaign(Options{Seed: 99, N: 250, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, sr := concurrent.Render(), sequential.Render()
+	if cr != sr {
+		t.Errorf("reports differ between Parallel 8 and 1:\n--- parallel ---\n%s\n--- sequential ---\n%s", cr, sr)
+	}
+	if concurrent.Hash() != sequential.Hash() {
+		t.Errorf("report hashes differ: %s vs %s", concurrent.Hash(), sequential.Hash())
+	}
+}
+
+// TestCampaignDeterministicRunToRun: same options, two runs, identical
+// hash — the reproducibility half of the acceptance criteria.
+func TestCampaignDeterministicRunToRun(t *testing.T) {
+	a, err := RunCampaign(Options{Seed: 5, N: 200, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(Options{Seed: 5, N: 200, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Errorf("fixed-seed campaign not reproducible: %s vs %s", a.Hash(), b.Hash())
+	}
+}

@@ -1,0 +1,106 @@
+package fuzzgen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// maxColumnsPerCase bounds a case's schema width; column input IDs are
+// allocated in blocks of this size so sibling assignments share IDs
+// (differential pairing) while distinct cases never collide.
+const maxColumnsPerCase = 8
+
+// buildColumns turns a case's column specs into harness inputs.
+// Validity is inferred, not trusted: a literal that coerces to its
+// declared type under ANSI semantics is valid (the write-read oracle's
+// contract), anything else is invalid (the error-handling oracle's).
+// A literal the evaluator cannot build at all is replaced by NULL so a
+// hand-edited corpus file degrades instead of aborting a campaign.
+func buildColumns(c *Case, baseID int) []core.WideColumn {
+	out := make([]core.WideColumn, 0, len(c.Columns))
+	for i := range c.Columns {
+		col := &c.Columns[i]
+		id := baseID + i
+		in, err := core.MakeInput(id, col.Name, col.Type, col.Literal, true)
+		if err != nil {
+			in, err = core.MakeInput(id, col.Name, col.Type, col.Literal, false)
+		}
+		if err != nil {
+			col.Literal = "NULL"
+			in, _ = core.MakeInput(id, col.Name, col.Type, "NULL", true)
+		}
+		col.Valid = in.Valid
+		out = append(out, core.WideColumn{Name: col.Name, Input: in})
+	}
+	return out
+}
+
+var planByName = func() map[string]core.Plan {
+	m := map[string]core.Plan{}
+	for _, p := range core.Plans() {
+		m[p.Name()] = p
+	}
+	return m
+}()
+
+// TableCases materializes a case's probe group: one core.TableCase per
+// assignment, all sharing the case's columns. Labels embed the case
+// index so table names never collide within a batch.
+func TableCases(c *Case, index int) ([]*core.TableCase, error) {
+	cols := buildColumns(c, index*maxColumnsPerCase)
+	out := make([]*core.TableCase, 0, len(c.Assignments))
+	for i, a := range c.Assignments {
+		plan, ok := planByName[a.Plan]
+		if !ok {
+			return nil, fmt.Errorf("fuzzgen: unknown plan %q", a.Plan)
+		}
+		out = append(out, &core.TableCase{
+			Label:   fmt.Sprintf("fz%06d_%d", index, i),
+			Columns: cols,
+			Plan:    plan,
+			Format:  a.Format,
+		})
+	}
+	return out, nil
+}
+
+// Execute runs a single case in isolation (the shrinker's and
+// replayer's predicate) and returns the harness result.
+func Execute(c *Case, parallel int) (*core.RunResult, error) {
+	tables, err := TableCases(c, 0)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunTables(tables, core.RunOptions{SparkConf: c.Conf, Parallel: parallel})
+}
+
+// Detects reports whether executing the case surfaces the signature.
+func Detects(c *Case, signature string) bool {
+	cp := cloneCase(*c)
+	res, err := Execute(&cp, 1)
+	if err != nil {
+		return false
+	}
+	for _, f := range res.Failures {
+		if f.Signature == signature {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneCase deep-copies a case so predicate runs (which re-infer column
+// validity and may rewrite broken literals) never mutate the original.
+func cloneCase(c Case) Case {
+	cp := c
+	cp.Columns = append([]ColumnSpec(nil), c.Columns...)
+	cp.Assignments = append([]Assignment(nil), c.Assignments...)
+	if c.Conf != nil {
+		cp.Conf = make(map[string]string, len(c.Conf))
+		for k, v := range c.Conf {
+			cp.Conf[k] = v
+		}
+	}
+	return cp
+}

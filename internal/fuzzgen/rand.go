@@ -1,0 +1,62 @@
+// Package fuzzgen is the generative counterpart of the fixed §8 corpus:
+// a seeded, fully deterministic fuzzing campaign over the cross-system
+// data plane. It generates randomized multi-column schemas, typed
+// values, session configurations, and interface/format assignments;
+// executes them through the core harness; shrinks every failing case to
+// a minimal reproducer with delta debugging; and dedups minimized
+// failures against the known Figure-6 discrepancies, persisting
+// genuinely new ones as JSON reproducers that a regression test replays
+// forever after.
+//
+// Determinism is the design constraint everything else bends around
+// (the flaky-test literature's lesson: a failure you cannot re-run is a
+// failure you cannot fix). The PRNG is an owned splitmix64 — not
+// math/rand — so a campaign's output is a pure function of (seed, n)
+// across Go releases, and every generated case carries its own derived
+// seed so it can be regenerated in isolation.
+package fuzzgen
+
+// Rand is a deterministic splitmix64 pseudo-random stream.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a stream seeded with the given value.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 advances the stream (splitmix64: Steele et al., "Fast
+// splittable pseudorandom number generators").
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("fuzzgen: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Pct returns true with probability p/100.
+func (r *Rand) Pct(p int) bool {
+	return r.Intn(100) < p
+}
+
+// Pick returns one element of a non-empty slice.
+func Pick[T any](r *Rand, s []T) T {
+	return s[r.Intn(len(s))]
+}
+
+// DeriveSeed produces an independent per-case seed from a campaign seed
+// and a case index, so any case can be regenerated without replaying
+// the stream that led to it.
+func DeriveSeed(campaign uint64, index int) uint64 {
+	return NewRand(campaign ^ (uint64(index)+1)*0xd1342543de82ef95).Uint64()
+}

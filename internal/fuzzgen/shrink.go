@@ -1,0 +1,91 @@
+package fuzzgen
+
+import "sort"
+
+// Shrink delta-debugs a failing case down to a minimal reproducer for
+// one signature: drop assignments, drop columns, drop configuration
+// keys, then simplify literals, repeating until a fixpoint. Every
+// accepted step strictly decreases Case.Size, so the result is never
+// larger than the input and termination is guaranteed. The predicate
+// re-executes the candidate sequentially, so shrinking is deterministic
+// for a given (case, signature).
+func Shrink(c Case, signature string) Case {
+	best := cloneCase(c)
+	if !Detects(&best, signature) {
+		// Not reproducible in isolation (e.g. it needed another case's
+		// tables): return the original untouched.
+		return best
+	}
+	for changed := true; changed; {
+		changed = false
+		// Pass 1: drop assignments, keeping at least one.
+		for i := 0; len(best.Assignments) > 1 && i < len(best.Assignments); i++ {
+			cand := cloneCase(best)
+			cand.Assignments = append(cand.Assignments[:i], cand.Assignments[i+1:]...)
+			if Detects(&cand, signature) {
+				best = cand
+				changed = true
+				i--
+			}
+		}
+		// Pass 2: drop columns, keeping at least one.
+		for i := 0; len(best.Columns) > 1 && i < len(best.Columns); i++ {
+			cand := cloneCase(best)
+			cand.Columns = append(cand.Columns[:i], cand.Columns[i+1:]...)
+			if Detects(&cand, signature) {
+				best = cand
+				changed = true
+				i--
+			}
+		}
+		// Pass 3: drop configuration keys (sorted for determinism).
+		keys := make([]string, 0, len(best.Conf))
+		for k := range best.Conf {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			cand := cloneCase(best)
+			delete(cand.Conf, k)
+			if len(cand.Conf) == 0 {
+				cand.Conf = nil
+			}
+			if Detects(&cand, signature) {
+				best = cand
+				changed = true
+			}
+		}
+		// Pass 4: simplify literals toward strictly shorter canonical
+		// spellings.
+		for i := range best.Columns {
+			for _, lit := range simplerLiterals(best.Columns[i].Literal) {
+				cand := cloneCase(best)
+				cand.Columns[i].Literal = lit
+				if Detects(&cand, signature) {
+					best = cand
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return best
+}
+
+// simplerLiterals proposes strictly shorter replacement literals, most
+// aggressive first. Candidates keep SQL well-formedness; whether the
+// replacement preserves the failure is the predicate's job.
+func simplerLiterals(lit string) []string {
+	var out []string
+	for _, cand := range []string{"0", "''", "NULL", "'a'", "1.0"} {
+		if len(cand) < len(lit) {
+			out = append(out, cand)
+		}
+	}
+	// Halve long quoted strings: 'xxxxxxxx' -> 'xxxx'.
+	if n := len(lit); n > 6 && lit[0] == '\'' && lit[n-1] == '\'' {
+		body := lit[1 : n-1]
+		out = append(out, "'"+body[:len(body)/2]+"'")
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package hivesim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hdfssim"
+	"repro/internal/hivesim"
+)
+
+// FuzzHiveQLParse asserts totality of the HiveQL front end: any query
+// string yields a result or an error, never a panic. Seeds come from
+// the §8 corpus literals. Run `go test -fuzz=FuzzHiveQLParse` for an
+// extended exploration; the seed corpus runs in normal tests.
+func FuzzHiveQLParse(f *testing.F) {
+	inputs, err := core.BuildBaseCorpus()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, in := range inputs {
+		if i%5 == 0 {
+			f.Add(fmt.Sprintf("CREATE TABLE t (C %s) STORED AS orc", in.Type))
+		}
+		f.Add(fmt.Sprintf("INSERT INTO t VALUES (%s)", in.Literal))
+	}
+	f.Add("SELECT * FROM t")
+	f.Add("CREATE TABLE t (a INT, A STRING)")
+	f.Add("INSERT INTO t VALUES (NAMED_STRUCT('a',")
+	f.Add("SELECT count(*) FROM t GROUP BY missing")
+	f.Fuzz(func(t *testing.T, query string) {
+		fs := hdfssim.New(nil)
+		ms := hivesim.NewMetastore()
+		h := hivesim.New(fs, ms)
+		if _, err := h.Execute("CREATE TABLE t (C INT) STORED AS orc"); err != nil {
+			t.Fatalf("fixture table: %v", err)
+		}
+		_, _ = h.Execute(query) // must not panic
+	})
+}

@@ -1,0 +1,43 @@
+package sparksim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hdfssim"
+	"repro/internal/hivesim"
+	"repro/internal/sparksim"
+)
+
+// FuzzSparkSQLParse asserts totality of the SparkSQL front end: any
+// query string yields a result or an error, never a panic. Seeds come
+// from the §8 corpus literals, so the interesting literal shapes
+// (quoted escapes, typed constructors, hex binary) are explored from
+// the start. Run `go test -fuzz=FuzzSparkSQLParse` for an extended
+// exploration; the seed corpus runs in normal tests.
+func FuzzSparkSQLParse(f *testing.F) {
+	inputs, err := core.BuildBaseCorpus()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, in := range inputs {
+		if i%5 == 0 {
+			f.Add(fmt.Sprintf("CREATE TABLE t (C %s) STORED AS orc", in.Type))
+		}
+		f.Add(fmt.Sprintf("INSERT INTO t VALUES (%s)", in.Literal))
+	}
+	f.Add("SELECT * FROM t")
+	f.Add("CREATE TABLE t (select INT, SELECT STRING) STORED AS avro")
+	f.Add("INSERT INTO t VALUES (")
+	f.Add("DROP TABLE t;; SELECT")
+	f.Fuzz(func(t *testing.T, query string) {
+		fs := hdfssim.New(nil)
+		ms := hivesim.NewMetastore()
+		s := sparksim.NewSession(fs, ms)
+		if _, err := s.SQL("CREATE TABLE t (C INT) STORED AS orc"); err != nil {
+			t.Fatalf("fixture table: %v", err)
+		}
+		_, _ = s.SQL(query) // must not panic
+	})
+}
