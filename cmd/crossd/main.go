@@ -1,0 +1,108 @@
+// Command crossd is the long-running differential-testing service: it
+// accepts cross-system test jobs over HTTP — Figure-6 corpus runs,
+// -conf configuration sweeps, and fuzz campaigns identified by
+// (seed, n) — executes them on a shared bounded worker pool over the
+// §8 harness, and content-addresses the results. A job's spec is
+// hashed; completed reports are stored in an LRU + disk cache, so an
+// identical submission is served without re-executing a single case.
+//
+// Usage:
+//
+//	crossd [-addr :8731] [-workers N] [-queue N] [-job-timeout DUR]
+//	       [-cache-entries N] [-cache-dir DIR] [-drain-grace DUR]
+//
+// API:
+//
+//	POST /api/v1/jobs             submit a job spec (202 accepted,
+//	                              200 cache hit, 429 queue full + Retry-After,
+//	                              503 draining)
+//	GET  /api/v1/jobs             list jobs
+//	GET  /api/v1/jobs/{id}        job status
+//	GET  /api/v1/jobs/{id}/result completed report (byte-identical on cache hits)
+//	GET  /api/v1/jobs/{id}/stream NDJSON failure stream + terminal event
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /healthz                 readiness (503 while draining)
+//
+// On SIGTERM/SIGINT crossd stops admitting jobs, lets queued and
+// in-flight jobs finish (up to -drain-grace, then cancels them), and
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8731", "listen address")
+	workers := flag.Int("workers", 2, "concurrent job executors")
+	queue := flag.Int("queue", 16, "admission queue depth (submissions past it get 429)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job execution bound (0 = none)")
+	cacheEntries := flag.Int("cache-entries", 128, "in-memory result cache entries (LRU)")
+	cacheDir := flag.String("cache-dir", "", "spill cached results to this directory (survives restarts)")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long to let in-flight jobs finish on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *jobTimeout, *cacheEntries, *cacheDir, *drainGrace); err != nil {
+		fmt.Fprintf(os.Stderr, "crossd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, jobTimeout time.Duration, cacheEntries int, cacheDir string, drainGrace time.Duration) error {
+	cache, err := serve.NewCache(cacheEntries, cacheDir)
+	if err != nil {
+		return err
+	}
+	metrics := obs.NewRegistry()
+	sched := serve.NewScheduler(serve.SchedulerOptions{
+		Workers:    workers,
+		QueueDepth: queue,
+		JobTimeout: jobTimeout,
+		Cache:      cache,
+		Executor:   &serve.Executor{Metrics: metrics},
+		Metrics:    metrics,
+	})
+	srv := &http.Server{Addr: addr, Handler: serve.NewServer(sched, metrics)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("crossd: listening on %s (workers=%d queue=%d)\n", addr, workers, queue)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admission first (new submissions get 503
+	// from the still-listening server), let in-flight jobs finish, then
+	// close the listener.
+	fmt.Println("crossd: draining (in-flight jobs will finish)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	sched.Drain(drainCtx)
+
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("crossd: drained, exiting")
+	return nil
+}

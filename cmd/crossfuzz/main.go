@@ -18,10 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/fuzzgen"
@@ -55,10 +58,21 @@ func main() {
 		opts.Metrics = obs.NewRegistry()
 	}
 
+	// SIGINT/SIGTERM cancel the campaign between probe groups: the
+	// partial report is still flushed (clusters, hash, "stopped early"
+	// marker) instead of the process dying mid-write. A second signal
+	// kills the process via the restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Context = ctx
+
 	res, err := fuzzgen.RunCampaign(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crossfuzz: %v\n", err)
 		os.Exit(1)
+	}
+	if res.Cancelled {
+		fmt.Fprintln(os.Stderr, "crossfuzz: interrupted; flushing partial report")
 	}
 	fmt.Print(res.Render())
 	fmt.Printf("\nreport-hash: %s\n", res.Hash())

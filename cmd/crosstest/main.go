@@ -6,7 +6,7 @@
 // Usage:
 //
 //	crosstest [-family ss|sh|hs] [-conf key=value]... [-failures N] [-inputs prefix]
-//	          [-trace dir] [-metrics file]
+//	          [-json] [-trace dir] [-metrics file]
 //
 // The -conf flag applies a deployment configuration before testing —
 // "testing systems under the deployment configuration" — so the effect
@@ -20,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +54,7 @@ func main() {
 	wide := flag.Bool("wide", false, "also run the multi-column (wide-table) mode")
 	sweep := flag.Bool("sweep", false, "sweep the fix configurations and diff the discrepancy profiles")
 	partitions := flag.Bool("partitions", false, "also run the partitioned-table mode (candidate new discrepancies)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable report (the same shape crossd's /result embeds) instead of text")
 	logsDir := flag.String("logs", "", "write per-oracle failure logs (<family>_<oracle>_failed.json) to this directory")
 	traceDir := flag.String("trace", "", "record causal spans and write them to <dir>/spans.jsonl")
 	metricsFile := flag.String("metrics", "", "write Prometheus-text harness metrics to this file (\"-\" for stdout)")
@@ -84,11 +86,24 @@ func main() {
 		opts.Metrics = obs.NewRegistry()
 	}
 
-	fmt.Printf("Running cross-test: %d inputs x %d plans x 3 formats\n\n", len(corpus), plansIn(opts))
+	if !*jsonOut {
+		fmt.Printf("Running cross-test: %d inputs x %d plans x 3 formats\n\n", len(corpus), plansIn(opts))
+	}
 	result, err := core.Run(corpus, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crosstest: %v\n", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		// The same core.ReportJSON shape crossd serves inside /result,
+		// so CLI and service outputs are directly diffable.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result.Report.JSON()); err != nil {
+			fmt.Fprintf(os.Stderr, "crosstest: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Print(result.Report.Render())
 
@@ -145,7 +160,7 @@ func main() {
 			names = append(names, name)
 			configs[name] = d.FixConf
 		}
-		cells, err := core.ConfigSweep(corpus, names, configs, *parallel)
+		cells, err := core.ConfigSweep(corpus, names, configs, core.RunOptions{Parallel: *parallel})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crosstest: sweep: %v\n", err)
 			os.Exit(1)

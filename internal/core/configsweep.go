@@ -29,8 +29,10 @@ type SweepCell struct {
 }
 
 // ConfigSweep runs the corpus under each configuration (the first entry
-// is the baseline) and diffs the discrepancy profiles.
-func ConfigSweep(inputs []Input, names []string, configs map[string]map[string]string, parallel int) ([]SweepCell, error) {
+// is the baseline) and diffs the discrepancy profiles. opts supplies
+// the execution context (cancellation, parallelism, observability);
+// its SparkConf is replaced per cell.
+func ConfigSweep(inputs []Input, names []string, configs map[string]map[string]string, opts RunOptions) ([]SweepCell, error) {
 	var cells []SweepCell
 	var baseline map[int]bool
 	for i, name := range names {
@@ -38,7 +40,9 @@ func ConfigSweep(inputs []Input, names []string, configs map[string]map[string]s
 		if !ok && name != "default" {
 			return nil, fmt.Errorf("core: unknown configuration %q", name)
 		}
-		res, err := Run(inputs, RunOptions{SparkConf: conf, Parallel: parallel})
+		cellOpts := opts
+		cellOpts.SparkConf = conf
+		res, err := Run(inputs, cellOpts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -44,6 +45,11 @@ type Failure struct {
 
 // RunOptions configure a harness run.
 type RunOptions struct {
+	// Context, when non-nil, makes the run cancellable: no new case is
+	// dispatched after cancellation and the run returns ctx.Err(). A
+	// cancelled run produces no result — partial oracle verdicts would
+	// not be reproducible. Nil means run to completion.
+	Context context.Context
 	// SparkConf overrides applied to the deployment's Spark session
 	// before testing — "testing systems under the deployment
 	// configuration (not the default configuration)".
@@ -61,6 +67,11 @@ type RunOptions struct {
 	// Metrics, when non-nil, records per-plan/per-format/per-oracle
 	// case counts and durations into the registry.
 	Metrics *obs.Registry
+	// OnFailure, when non-nil, is invoked once per oracle failure after
+	// the oracles run, in the run's deterministic failure order and
+	// from the calling goroutine. Streaming consumers (crossd) use it
+	// to forward failures as they are established.
+	OnFailure func(Failure)
 }
 
 // RunResult is the outcome of a harness run.
@@ -138,7 +149,9 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 				Observe(float64(time.Since(started)) / float64(time.Millisecond))
 		}
 	}
-	runPool(opts.Parallel, cases, execute)
+	if err := runPool(opts.Context, opts.Parallel, cases, execute); err != nil {
+		return nil, err
+	}
 
 	failures := applyOracles(cases)
 	if opts.Tracer != nil {
@@ -146,6 +159,7 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 			failures[i].Chain = obs.RenderChain(opts.Tracer.Chain(failures[i].Case.Span))
 		}
 	}
+	emitFailures(opts.OnFailure, failures)
 	report := buildReport(failures)
 	if opts.Metrics != nil {
 		for _, o := range []csi.Oracle{csi.OracleWriteRead, csi.OracleErrorHandling, csi.OracleDifferential} {
@@ -163,8 +177,16 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 // runPool drains work through n worker goroutines (n < 2 runs
 // sequentially). Workers only write into their own work item, so the
 // caller observes results in the deterministic order of the slice
-// regardless of scheduling.
-func runPool[T any](n int, items []T, run func(T)) {
+// regardless of scheduling. A cancelled ctx stops dispatching new
+// items (in-flight items finish) and returns ctx.Err(); a nil ctx
+// always drains everything.
+func runPool[T any](ctx context.Context, n int, items []T, run func(T)) error {
+	done := func() <-chan struct{} {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Done()
+	}()
 	if n > 1 {
 		var wg sync.WaitGroup
 		work := make(chan T)
@@ -177,15 +199,38 @@ func runPool[T any](n int, items []T, run func(T)) {
 				}
 			}()
 		}
+		var err error
+	dispatch:
 		for _, it := range items {
-			work <- it
+			select {
+			case <-done:
+				err = ctx.Err()
+				break dispatch
+			case work <- it:
+			}
 		}
 		close(work)
 		wg.Wait()
-		return
+		return err
 	}
 	for _, it := range items {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
 		run(it)
+	}
+	return nil
+}
+
+// emitFailures forwards failures to a streaming hook, in order.
+func emitFailures(hook func(Failure), failures []Failure) {
+	if hook == nil {
+		return
+	}
+	for _, f := range failures {
+		hook(f)
 	}
 }
 

@@ -429,7 +429,7 @@ func TestConfigSweep(t *testing.T) {
 		"default":     nil,
 		"utc-session": {"spark.sql.session.timeZone": "UTC"},
 	}
-	cells, err := ConfigSweep(inputs, []string{"default", "utc-session"}, configs, 4)
+	cells, err := ConfigSweep(inputs, []string{"default", "utc-session"}, configs, RunOptions{Parallel: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +451,7 @@ func TestConfigSweep(t *testing.T) {
 	if !strings.Contains(text, "utc-session") || !strings.Contains(text, "#6") {
 		t.Errorf("render = %q", text)
 	}
-	if _, err := ConfigSweep(inputs, []string{"nope"}, configs, 1); err == nil {
+	if _, err := ConfigSweep(inputs, []string{"nope"}, configs, RunOptions{Parallel: 1}); err == nil {
 		t.Error("unknown config should error")
 	}
 }

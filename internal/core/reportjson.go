@@ -1,0 +1,78 @@
+package core
+
+import (
+	"repro/internal/csi"
+)
+
+// The machine-readable report shape: what `crosstest -json` prints and
+// what crossd's /result endpoint embeds, so CLI and server outputs are
+// directly diffable. The encoding is deterministic (struct field order
+// plus encoding/json's sorted map keys), so equal reports marshal to
+// equal bytes and the content-addressed cache can serve them verbatim.
+
+// FoundJSON is one distinct discrepancy in the JSON report.
+type FoundJSON struct {
+	Signature string `json:"signature"`
+	// Known is the Figure-6 registry number, 0 for a new signature.
+	Known      int            `json:"known,omitempty"`
+	JIRA       string         `json:"jira,omitempty"`
+	Title      string         `json:"title,omitempty"`
+	Categories []string       `json:"categories,omitempty"`
+	Module     string         `json:"module,omitempty"`
+	Failures   int            `json:"failures"`
+	Oracles    map[string]int `json:"oracles"`
+	Example    string         `json:"example"`
+}
+
+// ReportJSON is the machine-readable projection of a Report.
+type ReportJSON struct {
+	OracleFailures map[string]int `json:"oracle_failures"`
+	Distinct       int            `json:"distinct"`
+	Found          []FoundJSON    `json:"found"`
+	KnownNumbers   []int          `json:"known_numbers"`
+	NewSignatures  []string       `json:"new_signatures,omitempty"`
+	Categories     map[string]int `json:"categories"`
+	InConnector    int            `json:"in_connector"`
+	Generic        int            `json:"generic"`
+}
+
+// JSON projects the report into its machine-readable shape.
+func (r *Report) JSON() ReportJSON {
+	out := ReportJSON{
+		OracleFailures: map[string]int{},
+		Distinct:       len(r.Found),
+		Found:          make([]FoundJSON, 0, len(r.Found)),
+		KnownNumbers:   r.DistinctKnown(),
+		NewSignatures:  r.UnknownSignatures(),
+		Categories:     map[string]int{},
+	}
+	for _, o := range []csi.Oracle{csi.OracleWriteRead, csi.OracleErrorHandling, csi.OracleDifferential} {
+		out.OracleFailures[o.String()] = r.ByOracle[o]
+	}
+	for c, n := range r.CategoryCounts() {
+		out.Categories[string(c)] = n
+	}
+	out.InConnector, out.Generic = r.ConnectorShare()
+	for _, f := range r.Found {
+		fj := FoundJSON{
+			Signature: f.Signature,
+			Failures:  len(f.Failures),
+			Oracles:   map[string]int{},
+			Example:   f.Example(),
+		}
+		if f.Known != nil {
+			fj.Known = f.Known.Number
+			fj.JIRA = f.Known.JIRA
+			fj.Title = f.Known.Title
+			fj.Module = f.Known.Module
+			for _, c := range f.Known.Categories {
+				fj.Categories = append(fj.Categories, string(c))
+			}
+		}
+		for o, n := range f.Oracles {
+			fj.Oracles[o.String()] = n
+		}
+		out.Found = append(out.Found, fj)
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Content-addressing for job specifications: a spec's hash is the
+// sha256 of its canonical JSON encoding. encoding/json sorts map keys
+// and emits struct fields in declaration order, so two specs with
+// equal content hash identically regardless of how they were built —
+// the property crossd's result cache relies on to serve a resubmitted
+// job without re-executing it.
+
+// HashSpec returns the hex sha256 of v's canonical JSON encoding.
+func HashSpec(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("core: hashing spec: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// HashBytes returns the hex sha256 of raw bytes (the fingerprint used
+// for rendered reports and corpus files).
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestHashSpecDeterministic(t *testing.T) {
+	a := map[string]any{"seed": 1, "n": 50, "conf": map[string]string{"x": "1", "y": "2"}}
+	b := map[string]any{"conf": map[string]string{"y": "2", "x": "1"}, "n": 50, "seed": 1}
+	ha, err := HashSpec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := HashSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("equal specs hash differently: %s vs %s", ha, hb)
+	}
+	hc, err := HashSpec(map[string]any{"seed": 2, "n": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Error("different specs hash equal")
+	}
+	if len(ha) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(ha))
+	}
+}
+
+func TestHashSpecUnencodable(t *testing.T) {
+	if _, err := HashSpec(func() {}); err == nil {
+		t.Error("HashSpec(func) succeeded, want error")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	corpus, err := BuildCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no case may be dispatched
+	for _, parallel := range []int{1, 4} {
+		_, err := Run(corpus, RunOptions{Context: ctx, Parallel: parallel})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallel=%d: err = %v, want context.Canceled", parallel, err)
+		}
+	}
+}
+
+func TestRunNilContextCompletes(t *testing.T) {
+	in, err := MakeInput(1, "int_ok", "INT", "7", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run([]Input{in}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) == 0 {
+		t.Error("nil-context run produced no cases")
+	}
+}

@@ -78,7 +78,9 @@ func RunTables(cases []*TableCase, opts RunOptions) (*RunResult, error) {
 				Observe(float64(time.Since(started)) / float64(time.Millisecond))
 		}
 	}
-	runPool(opts.Parallel, cases, execute)
+	if err := runPool(opts.Context, opts.Parallel, cases, execute); err != nil {
+		return nil, err
+	}
 
 	var all []*CaseResult
 	for _, tc := range cases {
@@ -90,6 +92,7 @@ func RunTables(cases []*TableCase, opts RunOptions) (*RunResult, error) {
 			failures[i].Chain = obs.RenderChain(opts.Tracer.Chain(failures[i].Case.Span))
 		}
 	}
+	emitFailures(opts.OnFailure, failures)
 	return &RunResult{Cases: all, Failures: failures, Report: buildReport(failures)}, nil
 }
 

@@ -1,8 +1,10 @@
 package fuzzgen
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,6 +17,12 @@ import (
 
 // Options configure a campaign.
 type Options struct {
+	// Context, when non-nil, makes the campaign cancellable between
+	// (and inside) configuration batches: a cancelled campaign stops
+	// executing, marks the partial result Cancelled, and still
+	// clusters and renders what ran — the flush-on-SIGTERM path of
+	// crossfuzz and the per-job cancellation path of crossd.
+	Context context.Context
 	// Seed is the campaign seed; a fixed (Seed, N) pair is reproducible
 	// run-to-run, bit for bit.
 	Seed uint64
@@ -36,6 +44,10 @@ type Options struct {
 	// batch, exactly as in core.Run.
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
+	// OnFailure, when non-nil, receives every oracle failure as its
+	// batch completes (deterministic order within a batch) — crossd's
+	// NDJSON stream endpoint feeds from it.
+	OnFailure func(core.Failure)
 }
 
 // Cluster is one failure signature's campaign-level tally.
@@ -68,7 +80,11 @@ type Result struct {
 	NewSigs     []string
 	Reproducers []*Reproducer
 	Stopped     bool
-	Elapsed     time.Duration
+	// Cancelled marks a campaign stopped by its Context (SIGTERM in
+	// crossfuzz, job cancellation or timeout in crossd); like Stopped,
+	// the partial report is flushed but not reproducible.
+	Cancelled bool
+	Elapsed   time.Duration
 }
 
 // RunCampaign generates opts.N cases, executes them batched by session
@@ -130,6 +146,10 @@ func RunCampaign(opts Options) (*Result, error) {
 	clusters := map[string]*Cluster{}
 	firstBySig := map[string]*genCase{}
 	for confIdx := 0; confIdx < len(g.ConfPool()); confIdx++ {
+		if ctxCancelled(opts.Context) {
+			res.Cancelled = true
+			break
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			res.Stopped = true
 			break
@@ -155,12 +175,21 @@ func RunCampaign(opts Options) (*Result, error) {
 			continue
 		}
 		run, err := core.RunTables(batch, core.RunOptions{
+			Context:   opts.Context,
 			SparkConf: g.ConfPool()[confIdx],
 			Parallel:  opts.Parallel,
 			Tracer:    opts.Tracer,
 			Metrics:   opts.Metrics,
+			OnFailure: opts.OnFailure,
 		})
 		if err != nil {
+			// A mid-batch cancellation drops the incomplete batch (its
+			// oracle verdicts would be partial) but keeps everything
+			// already executed; any other error aborts the campaign.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				res.Cancelled = true
+				break
+			}
 			return nil, err
 		}
 		res.Executed += groups
@@ -245,6 +274,19 @@ func (res *Result) Promote(dir string) ([]string, error) {
 	return files, nil
 }
 
+// ctxCancelled reports whether a (possibly nil) context is done.
+func ctxCancelled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
 // confKey fingerprints a configuration for batching.
 func confKey(conf map[string]string) string {
 	keys := make([]string, 0, len(conf))
@@ -271,6 +313,9 @@ func (res *Result) Render() string {
 	fmt.Fprintf(&b, "probe groups: %d, table cases: %d, oracle failures: %d\n", res.Executed, res.TableCases, res.Failures)
 	if res.Stopped {
 		fmt.Fprintf(&b, "NOTE: budget exhausted after %d of %d probe groups; this report is not reproducible\n", res.Executed, res.Generated)
+	}
+	if res.Cancelled {
+		fmt.Fprintf(&b, "NOTE: stopped early (cancelled) after %d of %d probe groups; this report is partial and not reproducible\n", res.Executed, res.Generated)
 	}
 	fmt.Fprintf(&b, "\nclusters (%d):\n", len(res.Clusters))
 	for _, cl := range res.Clusters {

@@ -1,0 +1,65 @@
+package fuzzgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// A pre-cancelled campaign flushes a partial (here: empty) result with
+// the Cancelled marker instead of erroring out — the contract the
+// crossfuzz signal handler and crossd job cancellation rely on.
+func TestCampaignCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunCampaign(Options{Context: ctx, Seed: 1, N: 50, Parallel: 2})
+	if err != nil {
+		t.Fatalf("cancelled campaign errored: %v", err)
+	}
+	if !res.Cancelled {
+		t.Fatal("result not marked Cancelled")
+	}
+	if res.Executed != 0 {
+		t.Errorf("pre-cancelled campaign executed %d probe groups", res.Executed)
+	}
+	if !strings.Contains(res.Render(), "stopped early (cancelled)") {
+		t.Errorf("Render missing the stopped-early marker:\n%s", res.Render())
+	}
+	if res.Hash() == "" {
+		t.Error("partial report has no hash")
+	}
+}
+
+// An uncancelled context must not perturb the campaign: same report
+// hash as a context-free run (bit-identical determinism is what the
+// crossd result cache keys on).
+func TestCampaignContextTransparent(t *testing.T) {
+	base, err := RunCampaign(Options{Seed: 11, N: 120, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := RunCampaign(Options{Context: context.Background(), Seed: 11, N: 120, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Hash() != withCtx.Hash() {
+		t.Errorf("report hash changed under a live context: %s vs %s", base.Hash(), withCtx.Hash())
+	}
+}
+
+// OnFailure receives exactly the campaign's failures.
+func TestCampaignOnFailureCount(t *testing.T) {
+	streamed := 0
+	res, err := RunCampaign(Options{Seed: 3, N: 80, Parallel: 1, OnFailure: func(core.Failure) { streamed++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != res.Failures {
+		t.Errorf("streamed %d failures, campaign counted %d", streamed, res.Failures)
+	}
+	if streamed == 0 {
+		t.Error("expected at least one failure from seed 3 / n 80")
+	}
+}

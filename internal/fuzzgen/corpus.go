@@ -1,6 +1,7 @@
 package fuzzgen
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -56,8 +57,12 @@ func LoadCorpus(dir string) ([]*Reproducer, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Strict decoding: a typoed field in a hand-edited reproducer
+		// must fail loudly, not silently replay something else.
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
 		var r Reproducer
-		if err := json.Unmarshal(data, &r); err != nil {
+		if err := dec.Decode(&r); err != nil {
 			return nil, fmt.Errorf("fuzzgen: corpus file %s: %w", name, err)
 		}
 		if r.Signature == "" || len(r.Case.Columns) == 0 || len(r.Case.Assignments) == 0 {

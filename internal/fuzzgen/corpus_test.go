@@ -1,7 +1,9 @@
 package fuzzgen
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/inject"
@@ -75,6 +77,45 @@ func TestCorpusRoundTrip(t *testing.T) {
 	if got.Signature != r.Signature || got.Case.Seed != r.Case.Seed ||
 		len(got.Case.Columns) != 1 || got.Case.Conf["spark.sql.ansi.enabled"] != "false" {
 		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}
+
+// TestLoadCorpusRejectsUnknownField: decoding is strict, so a typoed
+// reproducer field (here "signatur") fails loudly instead of being
+// dropped and replaying a half-empty case.
+func TestLoadCorpusRejectsUnknownField(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := []byte(`{
+  "signatur": "typo-field",
+  "detail": "example",
+  "original_size": 10,
+  "minimized_size": 4,
+  "case": {
+    "seed": 7,
+    "columns": [{"name": "C", "type": "INT", "literal": "1", "valid": true}],
+    "assignments": [{"plan": "w_sql_r_sql", "format": "orc"}]
+  }
+}`)
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCorpus(dir)
+	if err == nil {
+		t.Fatal("LoadCorpus accepted a corpus file with an unknown field")
+	}
+	if !strings.Contains(err.Error(), "corrupt.json") || !strings.Contains(err.Error(), "signatur") {
+		t.Errorf("error does not name the file and field: %v", err)
+	}
+}
+
+// Malformed JSON (not just unknown fields) must also name the file.
+func TestLoadCorpusRejectsMalformedJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil {
+		t.Fatal("LoadCorpus accepted malformed JSON")
 	}
 }
 

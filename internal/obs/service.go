@@ -1,0 +1,47 @@
+package obs
+
+// Canonical metric names for long-running services built on the
+// harness (crossd). Keeping the names here — next to the registry that
+// serves them — means the server, its tests, and any future scaling
+// layer (sharding, multi-backend) agree on one vocabulary.
+const (
+	// MetricQueueDepth is the number of jobs admitted but not yet
+	// started (gauge).
+	MetricQueueDepth = "crossd_queue_depth"
+	// MetricInflightJobs is the number of jobs currently executing
+	// (gauge).
+	MetricInflightJobs = "crossd_inflight_jobs"
+	// MetricCacheHitRatio is hits / (hits + misses) over the result
+	// cache since process start (gauge; 0 before any lookup).
+	MetricCacheHitRatio = "crossd_cache_hit_ratio"
+	// MetricCacheHits / MetricCacheMisses are the raw lookup counters.
+	MetricCacheHits   = "crossd_cache_hits_total"
+	MetricCacheMisses = "crossd_cache_misses_total"
+	// MetricJobsSubmitted counts admitted submissions, labelled by
+	// kind; MetricJobsRejected counts refused ones, labelled by reason
+	// ("queue_full", "draining", "invalid").
+	MetricJobsSubmitted = "crossd_jobs_submitted_total"
+	MetricJobsRejected  = "crossd_jobs_rejected_total"
+	// MetricJobsFinished counts terminal transitions, labelled by
+	// state ("done", "failed", "cancelled").
+	MetricJobsFinished = "crossd_jobs_finished_total"
+	// MetricJobDurationMs is the execution latency histogram, labelled
+	// by kind.
+	MetricJobDurationMs = "crossd_job_duration_ms"
+)
+
+// SetHitRatio recomputes and stores the cache hit ratio gauge from the
+// raw hit/miss counters. A nil registry is a no-op, like every other
+// obs entry point.
+func (r *Registry) SetHitRatio() {
+	if r == nil {
+		return
+	}
+	hits := r.Counter(MetricCacheHits).Value()
+	misses := r.Counter(MetricCacheMisses).Value()
+	ratio := 0.0
+	if total := hits + misses; total > 0 {
+		ratio = float64(hits) / float64(total)
+	}
+	r.Gauge(MetricCacheHitRatio).Set(ratio)
+}

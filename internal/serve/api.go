@@ -1,0 +1,227 @@
+// Package serve is the serving layer of the cross-system testing
+// framework: a long-running differential-testing service (crossd) that
+// accepts test jobs over HTTP, executes them on a shared bounded
+// worker pool over core.Run/core.RunTables, and content-addresses the
+// results — the job spec is hashed, and completed reports live in an
+// LRU+disk cache so an identical resubmission is served without
+// re-executing a single case. The cache is sound because campaign and
+// corpus runs are bit-identical for a fixed spec regardless of
+// parallelism or scheduling.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Job kinds.
+const (
+	// KindCorpus runs the Figure-6 corpus: every input × plan × format
+	// under the three oracles, optionally under a deployment
+	// configuration (a -conf sweep cell, as a service call).
+	KindCorpus = "corpus"
+	// KindSweep runs the corpus under the default configuration plus
+	// every registry fix configuration and diffs the profiles.
+	KindSweep = "sweep"
+	// KindFuzz runs a fuzz campaign identified by (seed, n, confs).
+	KindFuzz = "fuzz"
+)
+
+// JobSpec is a submitted job. The spec — not the submission — is the
+// unit of identity: two submissions with equal specs share one cached
+// result. Parallel is an execution hint and deliberately excluded from
+// the cache key (results are bit-identical across worker counts).
+type JobSpec struct {
+	Kind string `json:"kind"`
+
+	// Corpus/sweep parameters.
+	Families    []string          `json:"families,omitempty"`
+	Conf        map[string]string `json:"conf,omitempty"`
+	InputPrefix string            `json:"input_prefix,omitempty"`
+
+	// Fuzz parameters.
+	Seed  uint64 `json:"seed,omitempty"`
+	N     int    `json:"n,omitempty"`
+	Confs int    `json:"confs,omitempty"`
+
+	// Parallel is the per-job harness worker count (not part of the
+	// cache key; values below 2 run sequentially).
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// Validate rejects malformed specs before admission.
+func (s *JobSpec) Validate() error {
+	switch s.Kind {
+	case KindCorpus, KindSweep:
+		for _, f := range s.Families {
+			if f != "ss" && f != "sh" && f != "hs" {
+				return fmt.Errorf("serve: unknown plan family %q", f)
+			}
+		}
+	case KindFuzz:
+		if s.N <= 0 {
+			return fmt.Errorf("serve: fuzz job needs n > 0, got %d", s.N)
+		}
+		if s.N > 1_000_000 {
+			return fmt.Errorf("serve: fuzz n %d exceeds the 1000000 admission limit", s.N)
+		}
+		if s.Confs < 0 {
+			return fmt.Errorf("serve: confs must be non-negative, got %d", s.Confs)
+		}
+	default:
+		return fmt.Errorf("serve: unknown job kind %q (want %s, %s, or %s)", s.Kind, KindCorpus, KindSweep, KindFuzz)
+	}
+	if s.Parallel < 0 {
+		return fmt.Errorf("serve: parallel must be non-negative, got %d", s.Parallel)
+	}
+	return nil
+}
+
+// keySpec is the canonical content-address input: only fields that can
+// change the result bytes. V guards the key schema — bump it when the
+// result shape changes so stale disk entries miss instead of lying.
+type keySpec struct {
+	V        int               `json:"v"`
+	Kind     string            `json:"kind"`
+	Corpus   string            `json:"corpus,omitempty"`
+	Families []string          `json:"families,omitempty"`
+	Conf     map[string]string `json:"conf,omitempty"`
+	Prefix   string            `json:"prefix,omitempty"`
+	Seed     uint64            `json:"seed,omitempty"`
+	N        int               `json:"n,omitempty"`
+	Confs    int               `json:"confs,omitempty"`
+}
+
+const cacheKeyVersion = 1
+
+// corpusFingerprint hashes the built-in corpus once per process: a
+// code change to the input corpus changes every corpus/sweep cache key,
+// so a disk cache carried across binaries can never serve stale
+// reports.
+var corpusFingerprint = sync.OnceValues(func() (string, error) {
+	inputs, err := core.BuildCorpus()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, in := range inputs {
+		fmt.Fprintf(&b, "%d|%s|%s|%s|%t\n", in.ID, in.Name, in.Type, in.Literal, in.Valid)
+	}
+	return core.HashBytes([]byte(b.String())), nil
+})
+
+// CacheKey returns the spec's content address: the hex sha256 of its
+// canonical encoding (sorted families, canonical JSON map order,
+// corpus fingerprint for corpus-backed kinds, no execution hints).
+func (s *JobSpec) CacheKey() (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	ks := keySpec{V: cacheKeyVersion, Kind: s.Kind}
+	switch s.Kind {
+	case KindCorpus, KindSweep:
+		fp, err := corpusFingerprint()
+		if err != nil {
+			return "", err
+		}
+		ks.Corpus = fp
+		ks.Families = append([]string(nil), s.Families...)
+		sort.Strings(ks.Families)
+		if s.Kind == KindCorpus {
+			// A sweep replaces the session conf per cell, so the
+			// submitted conf cannot change its result.
+			ks.Conf = s.Conf
+		}
+		ks.Prefix = s.InputPrefix
+	case KindFuzz:
+		ks.Seed = s.Seed
+		ks.N = s.N
+		ks.Confs = s.Confs
+		if ks.Confs == 0 {
+			ks.Confs = 6 // the fuzzgen default, so 0 and 6 share a key
+		}
+	}
+	return core.HashSpec(ks)
+}
+
+// ClusterJSON is one failure cluster of a fuzz job result.
+type ClusterJSON struct {
+	Signature string `json:"signature"`
+	Known     int    `json:"known,omitempty"`
+	Count     int    `json:"count"`
+	Example   string `json:"example"`
+}
+
+// FuzzJSON is the machine-readable fuzz-campaign result.
+type FuzzJSON struct {
+	Seed          uint64        `json:"seed"`
+	N             int           `json:"n"`
+	Confs         int           `json:"confs"`
+	Executed      int           `json:"executed"`
+	TableCases    int           `json:"table_cases"`
+	Failures      int           `json:"failures"`
+	Clusters      []ClusterJSON `json:"clusters"`
+	KnownHit      []int         `json:"known_hit"`
+	NewSignatures []string      `json:"new_signatures,omitempty"`
+}
+
+// JobResult is what /result returns (and what the cache stores,
+// verbatim): the job's content address, its spec, the human-readable
+// rendering with its sha256, and the kind-specific machine-readable
+// payload. Report uses exactly the core.ReportJSON shape crosstest
+// -json prints, so CLI and server outputs are diffable.
+type JobResult struct {
+	Key       string            `json:"key"`
+	Kind      string            `json:"kind"`
+	Spec      JobSpec           `json:"spec"`
+	Rendered  string            `json:"rendered"`
+	ReportSHA string            `json:"report_sha256"`
+	Report    *core.ReportJSON  `json:"report,omitempty"`
+	Fuzz      *FuzzJSON         `json:"fuzz,omitempty"`
+	Sweep     []core.SweepCell  `json:"sweep,omitempty"`
+	Conf      map[string]string `json:"conf,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobStatus is the /jobs/{id} view of a job.
+type JobStatus struct {
+	ID       string  `json:"id"`
+	Key      string  `json:"key"`
+	Kind     string  `json:"kind"`
+	State    string  `json:"state"`
+	CacheHit bool    `json:"cache_hit"`
+	Error    string  `json:"error,omitempty"`
+	Queued   string  `json:"queued_at,omitempty"`
+	Started  string  `json:"started_at,omitempty"`
+	Finished string  `json:"finished_at,omitempty"`
+	Duration float64 `json:"duration_ms,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of /jobs/{id}/stream: a failure as an
+// oracle fires, then a terminal event.
+type StreamEvent struct {
+	Type      string `json:"type"` // "failure" | "done" | "failed" | "cancelled"
+	Job       string `json:"job"`
+	Seq       int    `json:"seq"`
+	Oracle    string `json:"oracle,omitempty"`
+	Signature string `json:"signature,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	Plan      string `json:"plan,omitempty"`
+	Format    string `json:"format,omitempty"`
+	Input     string `json:"input,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ReportSHA string `json:"report_sha256,omitempty"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+}

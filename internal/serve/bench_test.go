@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// benchSpec is heavy enough that cold execution dominates every cache
+// bookkeeping cost.
+func benchSpec() JobSpec {
+	return JobSpec{Kind: KindFuzz, Seed: 17, N: 2000, Parallel: 4}
+}
+
+func benchScheduler(b *testing.B) *Scheduler {
+	b.Helper()
+	c, err := NewCache(16, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewScheduler(SchedulerOptions{Workers: 2, QueueDepth: 8, Cache: c, Executor: &Executor{}})
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s
+}
+
+func submitAndWait(b *testing.B, s *Scheduler, spec JobSpec) *Job {
+	b.Helper()
+	job, err := s.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(5 * time.Minute):
+		b.Fatal("job did not finish")
+	}
+	if st := job.Status(); st.State != StateDone {
+		b.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+	return job
+}
+
+// BenchmarkSubmitCold measures a full fuzz-campaign execution through
+// the scheduler; each iteration uses a distinct seed so the cache
+// never hits.
+func BenchmarkSubmitCold(b *testing.B) {
+	s := benchScheduler(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := benchSpec()
+		spec.Seed = uint64(1000 + i) // distinct key per iteration
+		submitAndWait(b, s, spec)
+	}
+}
+
+// BenchmarkSubmitCached measures resubmission of an already-cached
+// spec: content-address lookup plus job bookkeeping, no execution.
+func BenchmarkSubmitCached(b *testing.B) {
+	s := benchScheduler(b)
+	submitAndWait(b, s, benchSpec()) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitAndWait(b, s, benchSpec())
+	}
+}
+
+// TestCachedAtLeast100xFaster pins the acceptance criterion with a
+// generous margin: serving a cached report must be at least 100x
+// faster than executing the campaign.
+func TestCachedAtLeast100xFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	c, err := NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newTestScheduler(t, SchedulerOptions{Cache: c})
+	spec := benchSpec()
+
+	coldStart := time.Now()
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	cold := time.Since(coldStart)
+
+	const warmRuns = 20
+	warmStart := time.Now()
+	for i := 0; i < warmRuns; i++ {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		if st := j.Status(); !st.CacheHit {
+			t.Fatal("warm submission missed the cache")
+		}
+	}
+	warm := time.Since(warmStart) / warmRuns
+
+	t.Logf("cold=%v warm=%v ratio=%.0fx", cold, warm, float64(cold)/float64(warm))
+	if warm*100 > cold {
+		t.Errorf("cached path only %.1fx faster than cold (cold=%v, warm avg=%v); want >=100x",
+			float64(cold)/float64(warm), cold, warm)
+	}
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: an in-memory LRU over
+// marshaled JobResult bytes, optionally backed by a disk directory so
+// results survive restarts. Keys are hex sha256 content addresses
+// (validated before touching the filesystem), values are the exact
+// bytes /result serves — a hit is byte-identical to the original
+// response.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	ll         *list.List // front = most recent
+	entries    map[string]*list.Element
+	dir        string // "" = memory only
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache builds a cache holding up to maxEntries results in memory
+// (minimum 1), spilled to dir when non-empty (created on demand).
+func NewCache(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		entries:    map[string]*list.Element{},
+		dir:        dir,
+	}, nil
+}
+
+// Get returns the cached bytes for key. A memory miss falls through to
+// disk; a disk hit is promoted back into the LRU. The returned slice
+// must not be mutated.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.hits++
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			c.insertLocked(key, data)
+			c.hits++
+			c.mu.Unlock()
+			return data, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores the bytes under key, in memory (evicting LRU entries past
+// the budget) and on disk via an atomic tmp+rename write.
+func (c *Cache) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("serve: invalid cache key %q", key)
+	}
+	c.mu.Lock()
+	c.insertLocked(key, data)
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+func (c *Cache) insertLocked(key string, data []byte) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	for c.ll.Len() > c.maxEntries {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats returns cumulative hit/miss/eviction counts and the current
+// in-memory entry count.
+func (c *Cache) Stats() (hits, misses, evictions int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.ll.Len()
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// validKey accepts exactly the hex sha256 alphabet, which keeps cache
+// keys from ever escaping the cache directory.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func TestCachePutGet(t *testing.T) {
+	c, err := NewCache(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put(key, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := c.Get(key)
+	if !ok || !bytes.Equal(data, []byte("hello")) {
+		t.Fatalf("Get = %q/%v", data, ok)
+	}
+	hits, misses, _, entries := c.Stats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Errorf("stats = hits %d misses %d entries %d", hits, misses, entries)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := c.Put(testKey(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Error("oldest entry survived past the budget")
+	}
+	for i := 2; i <= 3; i++ {
+		if _, ok := c.Get(testKey(i)); !ok {
+			t.Errorf("entry %d evicted early", i)
+		}
+	}
+	// Touch 2, insert 4: 3 is now the LRU victim.
+	c.Get(testKey(2))
+	c.Put(testKey(4), []byte{4})
+	if _, ok := c.Get(testKey(3)); ok {
+		t.Error("recently-untouched entry survived; LRU order broken")
+	}
+	if _, ok := c.Get(testKey(2)); !ok {
+		t.Error("recently-touched entry evicted")
+	}
+}
+
+func TestCacheDiskSpillAndReload(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := testKey(1), testKey(2)
+	c.Put(k1, []byte("one"))
+	c.Put(k2, []byte("two")) // evicts k1 from memory; disk copy remains
+	if data, ok := c.Get(k1); !ok || string(data) != "one" {
+		t.Fatalf("evicted entry not recovered from disk: %q/%v", data, ok)
+	}
+
+	// A fresh cache over the same directory serves previous results —
+	// the across-restart property crossd relies on.
+	c2, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := c2.Get(k2); !ok || string(data) != "two" {
+		t.Fatalf("restart lost cached result: %q/%v", data, ok)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(files) != 2 {
+		t.Errorf("disk holds %d files, want 2", len(files))
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "put-*")); len(files) != 0 {
+		t.Errorf("temp files leaked: %v", files)
+	}
+}
+
+func TestCacheRejectsBadKeys(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"",
+		"short",
+		strings.Repeat("g", 64),                 // non-hex
+		"../../../../etc/passwd" + testKey(0)[:41], // traversal attempt
+		strings.Repeat("A", 64),                 // uppercase hex not canonical
+	} {
+		if err := c.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put accepted invalid key %q", key)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Errorf("Get hit on invalid key %q", key)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("invalid keys touched the cache dir: %v", entries)
+	}
+}

@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Admission errors. The HTTP layer maps ErrQueueFull to 429 +
+// Retry-After and ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("serve: job queue full")
+	ErrDraining  = errors.New("serve: server is draining, not accepting jobs")
+)
+
+// Runner executes one job spec under a context. *Executor is the
+// production implementation.
+type Runner interface {
+	Execute(ctx context.Context, spec JobSpec, onFailure func(core.Failure)) (*JobResult, error)
+}
+
+// Job is one admitted submission. All mutable state is guarded by mu;
+// Done is closed exactly once when the job reaches a terminal state.
+type Job struct {
+	ID   string
+	Key  string
+	Spec JobSpec
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	cacheHit bool
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+	result   []byte // marshaled JobResult, exactly what /result serves
+
+	events []StreamEvent      // full history, so late stream subscribers replay
+	subs   []chan StreamEvent // live subscribers
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.ID,
+		Key:      j.Key,
+		Kind:     j.Spec.Kind,
+		State:    j.state,
+		CacheHit: j.cacheHit,
+		Error:    j.err,
+	}
+	if !j.queued.IsZero() {
+		st.Queued = j.queued.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+		from := j.started
+		if from.IsZero() {
+			from = j.queued
+		}
+		st.Duration = float64(j.finished.Sub(from)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// Result returns the marshaled JobResult bytes once the job is done.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == StateDone
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Subscribe returns the event history so far plus a channel carrying
+// subsequent events; the channel is closed after the terminal event.
+// A terminal job returns its full history and a closed channel.
+func (j *Job) Subscribe() ([]StreamEvent, <-chan StreamEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history := append([]StreamEvent(nil), j.events...)
+	ch := make(chan StreamEvent, 64)
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+		close(ch)
+		return history, ch
+	}
+	j.subs = append(j.subs, ch)
+	return history, ch
+}
+
+// emit appends an event and fans it out. Slow subscribers lose events
+// (non-blocking send) rather than stalling the worker; the history
+// replay on subscribe keeps the NDJSON stream complete for readers
+// that connect after the fact.
+func (j *Job) emit(ev StreamEvent) {
+	j.mu.Lock()
+	ev.Seq = len(j.events)
+	ev.Job = j.ID
+	j.events = append(j.events, ev)
+	subs := append([]chan StreamEvent(nil), j.subs...)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func (j *Job) closeSubs() {
+	j.mu.Lock()
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+// SchedulerOptions configure the worker pool.
+type SchedulerOptions struct {
+	// Workers is the number of concurrent job executors (minimum 1).
+	// Each job additionally fans out over its own Parallel harness
+	// workers, so keep Workers modest.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-started jobs;
+	// submissions past it are rejected with ErrQueueFull (the 429
+	// backpressure signal). Minimum 1.
+	QueueDepth int
+	// JobTimeout bounds each job's execution (0 = none).
+	JobTimeout time.Duration
+	// Cache is the content-addressed result cache (required).
+	Cache *Cache
+	// Executor runs the jobs (required; shared across workers). The
+	// production implementation is *Executor; tests substitute
+	// deterministic runners.
+	Executor Runner
+	// Metrics, when non-nil, receives the service-level gauges and
+	// counters (queue depth, in-flight jobs, cache hit ratio, ...).
+	Metrics *obs.Registry
+}
+
+// Scheduler owns the job table and the bounded worker pool.
+type Scheduler struct {
+	opts SchedulerOptions
+
+	mu       sync.Mutex
+	draining bool
+	seq      int
+	jobs     map[string]*Job // by ID
+	byKey    map[string]*Job // queued/running jobs, for coalescing
+	queue    chan *Job
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// NewScheduler starts the worker pool.
+func NewScheduler(opts SchedulerOptions) *Scheduler {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.QueueDepth < 1 {
+		opts.QueueDepth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		opts:       opts,
+		jobs:       map[string]*Job{},
+		byKey:      map[string]*Job{},
+		queue:      make(chan *Job, opts.QueueDepth),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+	}
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a job. The three fast paths never execute anything:
+// an invalid spec is rejected, a cached key is answered from the cache
+// (as an immediately-done job), and a spec equal to a queued or
+// running job coalesces onto it. Otherwise the job is enqueued, or
+// rejected with ErrQueueFull when the queue is at depth.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	key, err := spec.CacheKey()
+	if err != nil {
+		s.count(obs.MetricJobsRejected, "reason", "invalid")
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.count(obs.MetricJobsRejected, "reason", "draining")
+		return nil, ErrDraining
+	}
+	if live, ok := s.byKey[key]; ok {
+		s.mu.Unlock()
+		s.record(obs.MetricJobsSubmitted, "kind", spec.Kind)
+		return live, nil
+	}
+	// Cache probe under the admission lock: the lookup is memory/disk
+	// only and keeps two racing submissions of a cold key from both
+	// executing.
+	if data, ok := s.opts.Cache.Get(key); ok {
+		job := s.newJobLocked(spec, key)
+		job.cacheHit = true
+		job.state = StateDone
+		job.finished = time.Now()
+		job.result = data
+		close(job.done)
+		s.mu.Unlock()
+		s.record(obs.MetricJobsSubmitted, "kind", spec.Kind)
+		s.count(obs.MetricCacheHits)
+		s.updateCacheGauges()
+		job.emit(StreamEvent{Type: StateDone, CacheHit: true, ReportSHA: reportSHA(data)})
+		job.closeSubs()
+		return job, nil
+	}
+	job := s.newJobLocked(spec, key) // state starts queued
+	// Register for coalescing before the send: a fast worker may pick
+	// the job up (and clean byKey) the instant it lands on the queue.
+	s.byKey[key] = job
+	select {
+	case s.queue <- job:
+	default:
+		delete(s.jobs, job.ID)
+		delete(s.byKey, key)
+		s.mu.Unlock()
+		s.count(obs.MetricJobsRejected, "reason", "queue_full")
+		return nil, ErrQueueFull
+	}
+	depth := len(s.queue)
+	s.mu.Unlock()
+	s.record(obs.MetricJobsSubmitted, "kind", spec.Kind)
+	s.count(obs.MetricCacheMisses)
+	s.updateCacheGauges()
+	s.gauge(obs.MetricQueueDepth, float64(depth))
+	return job, nil
+}
+
+func (s *Scheduler) newJobLocked(spec JobSpec, key string) *Job {
+	s.seq++
+	job := &Job{
+		ID:     fmt.Sprintf("job-%06d-%s", s.seq, key[:8]),
+		Key:    key,
+		Spec:   spec,
+		state:  StateQueued,
+		queued: time.Now(),
+		done:   make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	return job
+}
+
+// Job looks a job up by ID.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs, newest first.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Scheduler) runJob(job *Job) {
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if s.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	job.mu.Lock()
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	job.mu.Unlock()
+	s.gauge(obs.MetricQueueDepth, float64(len(s.queue)))
+	s.addGauge(obs.MetricInflightJobs, 1)
+
+	res, err := s.opts.Executor.Execute(ctx, job.Spec, func(f core.Failure) {
+		ev := StreamEvent{
+			Type:      "failure",
+			Oracle:    f.Oracle.String(),
+			Signature: f.Signature,
+			Detail:    f.Detail,
+		}
+		if f.Case != nil {
+			ev.Plan = f.Case.Plan.Name()
+			ev.Format = f.Case.Format
+			if f.Case.Input != nil {
+				ev.Input = f.Case.Input.Name
+			}
+		}
+		job.emit(ev)
+	})
+
+	state := StateDone
+	var final StreamEvent
+	var data []byte
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		state = StateCancelled
+		final = StreamEvent{Type: StateCancelled, Error: err.Error()}
+	case err != nil:
+		state = StateFailed
+		final = StreamEvent{Type: StateFailed, Error: err.Error()}
+	default:
+		data, err = marshalResult(res)
+		if err != nil {
+			state = StateFailed
+			final = StreamEvent{Type: StateFailed, Error: err.Error()}
+		} else {
+			// Cache before publishing: once a result is visible, every
+			// identical submission must be able to hit.
+			final = StreamEvent{Type: StateDone, ReportSHA: res.ReportSHA}
+			if cerr := s.opts.Cache.Put(job.Key, data); cerr != nil {
+				final.Error = cerr.Error() // disk spill failure is non-fatal
+			}
+		}
+	}
+
+	job.mu.Lock()
+	job.state = state
+	job.finished = time.Now()
+	job.result = data
+	if state != StateDone && err != nil {
+		job.err = err.Error()
+	}
+	dur := job.finished.Sub(job.started)
+	job.mu.Unlock()
+
+	s.mu.Lock()
+	if s.byKey[job.Key] == job {
+		delete(s.byKey, job.Key)
+	}
+	s.mu.Unlock()
+
+	job.emit(final)
+	job.closeSubs()
+	close(job.done)
+	s.addGauge(obs.MetricInflightJobs, -1)
+	s.count(obs.MetricJobsFinished, "state", state)
+	if m := s.opts.Metrics; m != nil {
+		m.Histogram(obs.MetricJobDurationMs, nil, "kind", job.Spec.Kind).
+			Observe(float64(dur) / float64(time.Millisecond))
+	}
+}
+
+// Drain stops admission, lets queued and in-flight jobs finish, and
+// returns when the pool is idle. If ctx expires first, the remaining
+// jobs are cancelled (they terminate as StateCancelled) and Drain
+// waits for the workers to exit. Idempotent.
+func (s *Scheduler) Drain(ctx context.Context) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	close(s.queue) // safe: all sends hold mu and re-check draining
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		s.cancelBase()
+		<-idle
+	}
+	s.cancelBase()
+}
+
+// marshalResult produces the canonical result bytes (stable field
+// order, trailing newline) served by /result and stored in the cache.
+func marshalResult(res *JobResult) ([]byte, error) {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// reportSHA recovers the report hash from marshaled result bytes for
+// the cache-hit done event.
+func reportSHA(data []byte) string {
+	var res JobResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return ""
+	}
+	return res.ReportSHA
+}
+
+// metric helpers: all tolerate a nil registry.
+func (s *Scheduler) count(name string, labels ...string)  { s.record(name, labels...) }
+func (s *Scheduler) record(name string, labels ...string) {
+	if s.opts.Metrics != nil {
+		s.opts.Metrics.Counter(name, labels...).Inc()
+	}
+}
+
+func (s *Scheduler) gauge(name string, v float64) {
+	if s.opts.Metrics != nil {
+		s.opts.Metrics.Gauge(name).Set(v)
+	}
+}
+
+// addGauge adjusts a gauge by delta under the scheduler lock (obs
+// gauges are set-only, so read-modify-write needs external ordering).
+func (s *Scheduler) addGauge(name string, delta float64) {
+	if s.opts.Metrics == nil {
+		return
+	}
+	s.mu.Lock()
+	g := s.opts.Metrics.Gauge(name)
+	g.Set(g.Value() + delta)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) updateCacheGauges() {
+	if s.opts.Metrics == nil {
+		return
+	}
+	s.opts.Metrics.SetHitRatio()
+}

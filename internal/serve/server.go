@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Server is the crossd HTTP API over a Scheduler:
+//
+//	POST /api/v1/jobs             submit a JobSpec -> JobStatus
+//	                              (202 queued, 200 cache hit/coalesced,
+//	                               400 invalid, 429 queue full + Retry-After,
+//	                               503 draining)
+//	GET  /api/v1/jobs             list job statuses, newest first
+//	GET  /api/v1/jobs/{id}        one job's status
+//	GET  /api/v1/jobs/{id}/result the completed JobResult (byte-identical
+//	                              for cache hits), 409 until terminal
+//	GET  /api/v1/jobs/{id}/stream NDJSON: one event per oracle failure
+//	                              as batches complete, then a terminal event
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /healthz                 "ok" (200) or "draining" (503)
+type Server struct {
+	sched   *Scheduler
+	metrics *obs.Registry
+	mux     *http.ServeMux
+}
+
+// NewServer wires the API over a scheduler. metrics may be nil.
+func NewServer(sched *Scheduler, metrics *obs.Registry) *Server {
+	s := &Server{sched: sched, metrics: metrics, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		return
+	}
+	job, err := s.sched.Submit(spec)
+	switch {
+	case err == ErrDraining:
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err == ErrQueueFull:
+		// Backpressure: the queue is the admission budget; clients
+		// should retry after a short pause.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	st := job.Status()
+	code := http.StatusAccepted
+	if st.State == StateDone {
+		code = http.StatusOK // served from cache, result already available
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	statuses := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		statuses = append(statuses, j.Status())
+	}
+	sort.Slice(statuses, func(i, j int) bool { return statuses[i].ID > statuses[j].ID })
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	data, done := job.Result()
+	if !done {
+		st := job.Status()
+		if st.State == StateFailed || st.State == StateCancelled {
+			writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf("job is %s: %s", st.State, st.Error)})
+			return
+		}
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job is " + st.State + "; retry after completion"})
+		return
+	}
+	// Serve the stored bytes verbatim: a cached result is
+	// byte-identical to the execution that produced it.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	write := func(ev StreamEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	history, live := job.Subscribe()
+	for _, ev := range history {
+		if !write(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				return
+			}
+			if !write(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.sched.mu.Lock()
+	draining := s.sched.draining
+	s.sched.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T, opts SchedulerOptions) (*httptest.Server, *Scheduler, *Executor) {
+	t.Helper()
+	sched, exec := newTestScheduler(t, opts)
+	srv := httptest.NewServer(NewServer(sched, opts.Metrics))
+	t.Cleanup(srv.Close)
+	return srv, sched, exec
+}
+
+func postJob(t *testing.T, url string, spec JobSpec) (*http.Response, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding submit response: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, st
+}
+
+func getResult(t *testing.T, url, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%s/result", url, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			return data
+		}
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("result returned %d: %s", resp.StatusCode, data)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never produced a result", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The end-to-end acceptance path: submit (202), poll the result,
+// resubmit the identical spec (200 + cache_hit), and the two result
+// bodies are byte-identical while the executor ran exactly once.
+func TestServerSubmitResultResubmit(t *testing.T) {
+	srv, _, exec := newTestServer(t, SchedulerOptions{})
+	spec := smallFuzzSpec()
+
+	resp, st := postJob(t, srv.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cold submit returned %d, want 202", resp.StatusCode)
+	}
+	if st.CacheHit || st.ID == "" {
+		t.Fatalf("cold submit status: %+v", st)
+	}
+	cold := getResult(t, srv.URL, st.ID)
+
+	resp2, st2 := postJob(t, srv.URL, spec)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm submit returned %d, want 200", resp2.StatusCode)
+	}
+	if !st2.CacheHit || st2.State != StateDone {
+		t.Fatalf("warm submit status: %+v", st2)
+	}
+	warm := getResult(t, srv.URL, st2.ID)
+	if !bytes.Equal(cold, warm) {
+		t.Error("cached result differs from cold result")
+	}
+	if n := exec.Executions(); n != 1 {
+		t.Errorf("executions = %d, want 1", n)
+	}
+
+	var res JobResult
+	if err := json.Unmarshal(warm, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ReportSHA == "" || res.Fuzz == nil || !strings.Contains(res.Rendered, "fuzz campaign") {
+		t.Errorf("result payload incomplete: sha=%q fuzz=%v", res.ReportSHA, res.Fuzz != nil)
+	}
+}
+
+// The NDJSON stream carries one event per failure plus a terminal
+// event, and a subscriber that connects after completion replays the
+// same history.
+func TestServerStream(t *testing.T) {
+	srv, _, _ := newTestServer(t, SchedulerOptions{})
+	_, st := postJob(t, srv.URL, smallFuzzSpec())
+
+	readStream := func() []StreamEvent {
+		resp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%s/stream", srv.URL, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Errorf("stream content type %q", ct)
+		}
+		var events []StreamEvent
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev StreamEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			events = append(events, ev)
+		}
+		return events
+	}
+
+	live := readStream() // blocks until the job finishes and closes the stream
+	if len(live) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := live[len(live)-1]
+	if last.Type != StateDone || last.ReportSHA == "" {
+		t.Fatalf("terminal event: %+v", last)
+	}
+	failures := 0
+	for _, ev := range live[:len(live)-1] {
+		if ev.Type != "failure" || ev.Oracle == "" || ev.Signature == "" {
+			t.Fatalf("non-failure mid-stream event: %+v", ev)
+		}
+		failures++
+	}
+	if failures == 0 {
+		t.Error("fuzz job streamed no failures (seed 5 is known to produce them)")
+	}
+
+	replay := readStream() // job is terminal: pure history replay
+	if len(replay) != len(live) {
+		t.Fatalf("replay has %d events, live had %d", len(replay), len(live))
+	}
+	for i := range replay {
+		if replay[i] != live[i] {
+			t.Errorf("replay event %d differs: %+v vs %+v", i, replay[i], live[i])
+		}
+	}
+}
+
+// Queue overload surfaces as 429 + Retry-After; draining as 503 on
+// both submit and healthz.
+func TestServerBackpressureAndDrain(t *testing.T) {
+	runner := newBlockingRunner()
+	srv, sched, _ := newTestServer(t, SchedulerOptions{Workers: 1, QueueDepth: 1, Executor: runner})
+
+	if resp, _ := postJob(t, srv.URL, JobSpec{Kind: KindFuzz, Seed: 300, N: 10}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1: %d", resp.StatusCode)
+	}
+	<-runner.started
+	if resp, _ := postJob(t, srv.URL, JobSpec{Kind: KindFuzz, Seed: 301, N: 10}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 2: %d", resp.StatusCode)
+	}
+	resp, _ := postJob(t, srv.URL, JobSpec{Kind: KindFuzz, Seed: 302, N: 10})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit returned %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	close(runner.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sched.Drain(ctx)
+
+	if resp, _ := postJob(t, srv.URL, JobSpec{Kind: KindFuzz, Seed: 303, N: 10}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit returned %d, want 503", resp.StatusCode)
+	}
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining returned %d, want 503", hr.StatusCode)
+	}
+}
+
+func TestServerRejectsMalformedSubmissions(t *testing.T) {
+	srv, _, exec := newTestServer(t, SchedulerOptions{})
+	for _, body := range []string{
+		`{"kind":"fuzz","n":10,"bogus_field":1}`, // unknown field
+		`{"kind":"warp","n":10}`,                 // unknown kind
+		`not json`,
+	} {
+		resp, err := http.Post(srv.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q returned %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if exec.Executions() != 0 {
+		t.Error("malformed submissions reached the executor")
+	}
+}
+
+func TestServerStatusAndList(t *testing.T) {
+	srv, _, _ := newTestServer(t, SchedulerOptions{})
+	_, st := postJob(t, srv.URL, smallFuzzSpec())
+	getResult(t, srv.URL, st.ID)
+
+	resp, err := http.Get(srv.URL + "/api/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one JobStatus
+	json.NewDecoder(resp.Body).Decode(&one)
+	resp.Body.Close()
+	if one.ID != st.ID || one.State != StateDone || one.Duration <= 0 {
+		t.Errorf("status: %+v", one)
+	}
+
+	resp, err = http.Get(srv.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Errorf("list: %+v", list)
+	}
+
+	resp, err = http.Get(srv.URL + "/api/v1/jobs/job-999999-deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job returned %d, want 404", resp.StatusCode)
+	}
+}
+
+// /metrics carries the service gauges in Prometheus text form, and the
+// cache-hit counter moves on resubmission.
+func TestServerMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, _, _ := newTestServer(t, SchedulerOptions{Metrics: reg})
+	spec := smallFuzzSpec()
+	_, st := postJob(t, srv.URL, spec)
+	getResult(t, srv.URL, st.ID)
+	postJob(t, srv.URL, spec) // cache hit
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	for _, want := range []string{
+		obs.MetricCacheHits + " 1",
+		obs.MetricCacheMisses + " 1",
+		obs.MetricCacheHitRatio + " 0.5",
+		obs.MetricJobsSubmitted + `{kind="fuzz"} 2`,
+		obs.MetricJobsFinished + `{state="done"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
