@@ -1,8 +1,9 @@
 // Command crossd is the long-running differential-testing service: it
 // accepts cross-system test jobs over HTTP — Figure-6 corpus runs,
-// -conf configuration sweeps, and fuzz campaigns identified by
-// (seed, n) — executes them on a shared bounded worker pool over the
-// §8 harness, and content-addresses the results. A job's spec is
+// -conf configuration sweeps, fuzz campaigns identified by (seed, n),
+// and version-skew matrix runs over writer->reader version pairs —
+// executes them on a shared bounded worker pool over the §8 harness,
+// and content-addresses the results. A job's spec is
 // hashed; completed reports are stored in an LRU + disk cache, so an
 // identical submission is served without re-executing a single case.
 //

@@ -10,7 +10,14 @@
 // Usage:
 //
 //	crossfuzz [-seed N] [-n N] [-parallel N] [-budget DUR] [-corpus dir]
-//	          [-promote] [-trace dir] [-metrics file]
+//	          [-promote] [-versions] [-trace dir] [-metrics file]
+//
+// -versions arms the version axis: each case additionally draws a
+// writer->reader version pair (Spark 2.3/2.4/3.2 × Hive 2.3/3.1) and
+// runs on a version-skew deployment, so upgrade-triggered failures
+// surface alongside single-version ones. The flag is part of the
+// campaign identity — the same seed produces a different (but still
+// reproducible) report with it on.
 //
 // A fixed (-seed, -n) campaign without -budget is reproducible bit for
 // bit: the printed report-hash is identical run-to-run and across
@@ -39,6 +46,7 @@ func main() {
 	corpus := flag.String("corpus", "testdata/fuzzcorpus", "regression corpus directory (dedup + promotion target)")
 	promote := flag.Bool("promote", false, "write minimized new-signature reproducers into -corpus")
 	confs := flag.Int("confs", 6, "size of the random session-configuration pool")
+	versionsFlag := flag.Bool("versions", false, "also fuzz the version axis: each case draws a writer->reader version pair (changes the campaign outcome for a given seed)")
 	traceDir := flag.String("trace", "", "record causal spans and write them to <dir>/spans.jsonl")
 	metricsFile := flag.String("metrics", "", "write Prometheus-text harness metrics to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -49,6 +57,7 @@ func main() {
 		Parallel:  *parallel,
 		Budget:    *budget,
 		Confs:     *confs,
+		Versions:  *versionsFlag,
 		CorpusDir: *corpus,
 	}
 	if *traceDir != "" {

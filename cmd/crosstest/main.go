@@ -6,11 +6,19 @@
 // Usage:
 //
 //	crosstest [-family ss|sh|hs] [-conf key=value]... [-failures N] [-inputs prefix]
-//	          [-json] [-trace dir] [-metrics file]
+//	          [-versions matrix|list|PAIR] [-json] [-trace dir] [-metrics file]
 //
 // The -conf flag applies a deployment configuration before testing —
 // "testing systems under the deployment configuration" — so the effect
 // of the fix configurations on the report can be observed directly.
+//
+// -versions switches to version-skew differential testing: the corpus
+// runs on a deployment whose writer and reader stacks carry different
+// Spark/Hive versions, and skew-only discrepancies are isolated and
+// pinned against the skew registry. "matrix" runs the default
+// writer×reader pair matrix, "list" prints the modeled versions, pairs,
+// and skew registry, and a PAIR like "2.3.0/2.3.9->3.2.1/3.1.2" runs a
+// single cell. Unknown versions are rejected, never normalized.
 //
 // -trace records a causal span for every cross-system hop of every
 // case and writes them to <dir>/spans.jsonl; -failures output then
@@ -30,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/obs"
+	"repro/internal/versions"
 )
 
 type confFlags map[string]string
@@ -58,6 +67,7 @@ func main() {
 	logsDir := flag.String("logs", "", "write per-oracle failure logs (<family>_<oracle>_failed.json) to this directory")
 	traceDir := flag.String("trace", "", "record causal spans and write them to <dir>/spans.jsonl")
 	metricsFile := flag.String("metrics", "", "write Prometheus-text harness metrics to this file (\"-\" for stdout)")
+	versionsSpec := flag.String("versions", "", "version-skew mode: \"matrix\" (default pair matrix), \"list\" (modeled versions and skew registry), or one writer->reader pair like \"2.3.0/2.3.9->3.2.1/3.1.2\"")
 	flag.Var(conf, "conf", "Spark configuration override, key=value (repeatable)")
 	flag.Parse()
 
@@ -84,6 +94,11 @@ func main() {
 	}
 	if *metricsFile != "" {
 		opts.Metrics = obs.NewRegistry()
+	}
+
+	if *versionsSpec != "" {
+		runVersions(*versionsSpec, corpus, opts)
+		return
 	}
 
 	if !*jsonOut {
@@ -191,6 +206,47 @@ func main() {
 		fmt.Printf("\nWide-table mode (%d columns, one table per plan and format): %d failures, %d distinct discrepancies %v\n",
 			len(wres.Columns), len(wres.Failures), len(wres.Report.DistinctKnown()), wres.Report.DistinctKnown())
 	}
+}
+
+// runVersions is the -versions mode: list the modeled versions, or run
+// the skew matrix over the default pairs or one explicit pair.
+func runVersions(spec string, corpus []core.Input, opts core.RunOptions) {
+	var pairs []versions.Pair
+	switch spec {
+	case "list":
+		fmt.Printf("Modeled Spark versions: %s\n", strings.Join(versions.SparkVersions(), ", "))
+		fmt.Printf("Modeled Hive versions:  %s\n", strings.Join(versions.HiveVersions(), ", "))
+		fmt.Printf("\nDefault writer->reader pairs:\n")
+		for _, p := range versions.DefaultPairs() {
+			label := p.String()
+			if !p.Skewed() {
+				label += " (baseline)"
+			}
+			fmt.Printf("  %s\n", label)
+		}
+		fmt.Printf("\nVersion-skew discrepancy registry:\n")
+		for _, d := range inject.SkewRegistry() {
+			fmt.Printf("  %-3s %-12s [%s] %s\n", d.ID, d.Anchor, d.Boundary, d.Title)
+		}
+		return
+	case "matrix":
+		pairs = versions.DefaultPairs()
+	default:
+		p, err := versions.ParsePair(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crosstest: -versions: %v\n", err)
+			os.Exit(1)
+		}
+		pairs = []versions.Pair{p}
+	}
+	fmt.Printf("Running version-skew cross-test: %d inputs x %d plans x 3 formats x %d pairs\n\n",
+		len(corpus), plansIn(opts), len(pairs))
+	m, err := core.RunSkewMatrix(corpus, pairs, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crosstest: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(m.Render())
 }
 
 func writeSpans(tr *obs.Tracer, dir string) error {

@@ -16,6 +16,10 @@ import (
 // signatures, and every failure with the same signature is the same
 // discrepancy observed through a different input or interface pair.
 func classifyError(err error) string {
+	var ae *sparksim.AvroUnavailableError
+	if errors.As(err, &ae) {
+		return "avro-unavailable"
+	}
 	var ise *sparksim.IncompatibleSchemaError
 	if errors.As(err, &ise) {
 		return "avro-incompatible-schema"

@@ -10,6 +10,7 @@ import (
 	"repro/internal/serde"
 	"repro/internal/sparksim"
 	"repro/internal/sqlval"
+	"repro/internal/versions"
 )
 
 // Iface names one of the three write/read interfaces of Figure 6.
@@ -27,23 +28,89 @@ const (
 const ColumnName = "TestCol"
 
 // Deployment is a co-deployed Spark+Hive pair sharing one warehouse and
-// one metastore — the system under test.
+// one metastore — the system under test. A skew deployment additionally
+// carries a second, differently-versioned engine pair over the same
+// warehouse and metastore: writes run on the writer stack and reads on
+// the reader stack, modeling the paper's upgrade scenario where data
+// written before an upgrade is read after it (§5, upgrade triggers).
 type Deployment struct {
 	FS    *hdfssim.FileSystem
 	MS    *hivesim.Metastore
 	Spark *sparksim.Session
 	Hive  *hivesim.Hive
+	// ReadSpark/ReadHive are the reader-stack engines. In an unskewed
+	// deployment they alias Spark/Hive, so every existing call path
+	// behaves exactly as before the version axis existed.
+	ReadSpark *sparksim.Session
+	ReadHive  *hivesim.Hive
+	// Pair is the writer→reader version pair (nil when unversioned).
+	Pair *versions.Pair
 }
 
 // NewDeployment stands up a fresh co-deployment.
 func NewDeployment() *Deployment {
 	fs := hdfssim.New(nil)
 	ms := hivesim.NewMetastore()
+	spark := sparksim.NewSession(fs, ms)
+	hive := hivesim.New(fs, ms)
 	return &Deployment{
 		FS:    fs,
 		MS:    ms,
-		Spark: sparksim.NewSession(fs, ms),
-		Hive:  hivesim.New(fs, ms),
+		Spark: spark,
+		Hive:  hive,
+		// Same engines on both sides: no skew.
+		ReadSpark: spark,
+		ReadHive:  hive,
+	}
+}
+
+// NewSkewDeployment stands up two engine stacks — writer and reader —
+// over one shared warehouse and metastore, each pinned to its side's
+// version profiles. The pair must validate; unknown profiles are
+// rejected, never normalized.
+func NewSkewDeployment(pair versions.Pair) (*Deployment, error) {
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	fs := hdfssim.New(nil)
+	ms := hivesim.NewMetastore()
+	d := &Deployment{
+		FS:        fs,
+		MS:        ms,
+		Spark:     sparksim.NewSession(fs, ms),
+		Hive:      hivesim.New(fs, ms),
+		ReadSpark: sparksim.NewSession(fs, ms),
+		ReadHive:  hivesim.New(fs, ms),
+		Pair:      &pair,
+	}
+	if err := d.Spark.ApplyVersionProfile(pair.Writer.Spark); err != nil {
+		return nil, err
+	}
+	if err := d.Hive.ApplyVersionProfile(pair.Writer.Hive); err != nil {
+		return nil, err
+	}
+	if err := d.ReadSpark.ApplyVersionProfile(pair.Reader.Spark); err != nil {
+		return nil, err
+	}
+	if err := d.ReadHive.ApplyVersionProfile(pair.Reader.Hive); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Skewed reports whether the deployment runs distinct writer and reader
+// stacks.
+func (d *Deployment) Skewed() bool { return d.ReadSpark != d.Spark || d.ReadHive != d.Hive }
+
+// SetConf applies deployment configuration overrides to every Spark
+// session — overrides beat version-profile defaults, exactly as
+// deployment configuration beats shipped defaults.
+func (d *Deployment) SetConf(conf map[string]string) {
+	for k, v := range conf {
+		d.Spark.Conf().Set(k, v)
+		if d.ReadSpark != d.Spark {
+			d.ReadSpark.Conf().Set(k, v)
+		}
 	}
 }
 
@@ -62,12 +129,18 @@ type ReadOutcome struct {
 	Column   string
 }
 
-// SetTracer attaches an observability tracer to both engines; spans
+// SetTracer attaches an observability tracer to every engine; spans
 // are threaded per call through WriteSpan/ReadSpan, so concurrent
 // harness workers sharing the deployment stay race-free.
 func (d *Deployment) SetTracer(tr *obs.Tracer) {
 	d.Spark.SetTracer(tr)
 	d.Hive.SetTracer(tr)
+	if d.ReadSpark != d.Spark {
+		d.ReadSpark.SetTracer(tr)
+	}
+	if d.ReadHive != d.Hive {
+		d.ReadHive.SetTracer(tr)
+	}
 }
 
 // IfaceSystem maps an interface to the system that executes it.
@@ -79,7 +152,7 @@ func IfaceSystem(iface Iface) csi.System {
 }
 
 // Write creates the table through the interface's native DDL path and
-// inserts the input.
+// inserts the input, on the writer stack.
 func (d *Deployment) Write(iface Iface, table, format string, in Input) WriteOutcome {
 	return d.WriteSpan(nil, iface, table, format, in)
 }
@@ -87,28 +160,57 @@ func (d *Deployment) Write(iface Iface, table, format string, in Input) WriteOut
 // WriteSpan is Write under an explicit parent span: each engine call
 // emits its span tree as a child of parent.
 func (d *Deployment) WriteSpan(parent *obs.Span, iface Iface, table, format string, in Input) WriteOutcome {
+	return writeVia(d.Spark, d.Hive, parent, iface, table, format, in)
+}
+
+// Read fetches the single test row through the interface, on the
+// reader stack.
+func (d *Deployment) Read(iface Iface, table string) ReadOutcome {
+	return d.ReadSpan(nil, iface, table)
+}
+
+// ReadSpan is Read under an explicit parent span.
+func (d *Deployment) ReadSpan(parent *obs.Span, iface Iface, table string) ReadOutcome {
+	return readVia(d.ReadSpark, d.ReadHive, parent, iface, table)
+}
+
+// WriterReadSpan reads through the *writer* stack — the skew probe's
+// control: in the writer's own deployment generation, what does the
+// table read back as?
+func (d *Deployment) WriterReadSpan(parent *obs.Span, iface Iface, table string) ReadOutcome {
+	return readVia(d.Spark, d.Hive, parent, iface, table)
+}
+
+// ReaderWriteSpan writes through the *reader* stack — the skew probe's
+// second control: had the upgraded (or downgraded) stack produced the
+// table itself, what would it contain?
+func (d *Deployment) ReaderWriteSpan(parent *obs.Span, iface Iface, table, format string, in Input) WriteOutcome {
+	return writeVia(d.ReadSpark, d.ReadHive, parent, iface, table, format, in)
+}
+
+func writeVia(spark *sparksim.Session, hive *hivesim.Hive, parent *obs.Span, iface Iface, table, format string, in Input) WriteOutcome {
 	switch iface {
 	case SparkSQL:
-		if _, err := d.Spark.SQLSpan(parent, fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
+		if _, err := spark.SQLSpan(parent, fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
 			return WriteOutcome{Err: err}
 		}
-		res, err := d.Spark.SQLSpan(parent, fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
+		res, err := spark.SQLSpan(parent, fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
 		if err != nil {
 			return WriteOutcome{Err: err}
 		}
 		return WriteOutcome{Warnings: res.Warnings}
 	case DataFrame:
 		schema := serde.Schema{Columns: []serde.Column{{Name: ColumnName, Type: in.Type}}}
-		df, err := d.Spark.CreateDataFrame(schema, []sqlval.Row{{in.Value}})
+		df, err := spark.CreateDataFrame(schema, []sqlval.Row{{in.Value}})
 		if err != nil {
 			return WriteOutcome{Err: err}
 		}
 		return WriteOutcome{Err: df.SaveAsTableSpan(parent, table, format)}
 	case HiveQL:
-		if _, err := d.Hive.ExecuteSpan(parent, fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
+		if _, err := hive.ExecuteSpan(parent, fmt.Sprintf("CREATE TABLE %s (%s %s) STORED AS %s", table, ColumnName, in.Type, format)); err != nil {
 			return WriteOutcome{Err: err}
 		}
-		res, err := d.Hive.ExecuteSpan(parent, fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
+		res, err := hive.ExecuteSpan(parent, fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, in.Literal))
 		if err != nil {
 			return WriteOutcome{Err: err}
 		}
@@ -118,28 +220,22 @@ func (d *Deployment) WriteSpan(parent *obs.Span, iface Iface, table, format stri
 	}
 }
 
-// Read fetches the single test row through the interface.
-func (d *Deployment) Read(iface Iface, table string) ReadOutcome {
-	return d.ReadSpan(nil, iface, table)
-}
-
-// ReadSpan is Read under an explicit parent span.
-func (d *Deployment) ReadSpan(parent *obs.Span, iface Iface, table string) ReadOutcome {
+func readVia(spark *sparksim.Session, hive *hivesim.Hive, parent *obs.Span, iface Iface, table string) ReadOutcome {
 	switch iface {
 	case SparkSQL:
-		res, err := d.Spark.SQLSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
+		res, err := spark.SQLSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
 		if err != nil {
 			return ReadOutcome{Err: err}
 		}
 		return readOutcome(res.Columns, res.Rows, res.Warnings)
 	case DataFrame:
-		res, err := d.Spark.TableSpan(parent, table)
+		res, err := spark.TableSpan(parent, table)
 		if err != nil {
 			return ReadOutcome{Err: err}
 		}
 		return readOutcome(res.Columns, res.Rows, res.Warnings)
 	case HiveQL:
-		res, err := d.Hive.ExecuteSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
+		res, err := hive.ExecuteSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
 		if err != nil {
 			return ReadOutcome{Err: err}
 		}

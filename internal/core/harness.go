@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/csi"
 	"repro/internal/obs"
+	"repro/internal/versions"
 )
 
 // CaseResult is one executed test case: an input written through one
@@ -21,6 +22,13 @@ type CaseResult struct {
 	Table  string
 	Write  WriteOutcome
 	Read   ReadOutcome
+	// Skew probes, populated only on version-skew runs: WriterRead is
+	// the main table read back through the writer stack (the pre-upgrade
+	// control), RWWrite/RWRead are a sibling "<table>_rw" written and
+	// read entirely on the reader stack (the post-upgrade control).
+	WriterRead ReadOutcome
+	RWWrite    WriteOutcome
+	RWRead     ReadOutcome
 	// Span is the case's root span when the run traces (nil otherwise);
 	// the spans beneath it are the case's cross-system interactions.
 	Span *obs.Span
@@ -50,10 +58,17 @@ type RunOptions struct {
 	// cancelled run produces no result — partial oracle verdicts would
 	// not be reproducible. Nil means run to completion.
 	Context context.Context
-	// SparkConf overrides applied to the deployment's Spark session
+	// SparkConf overrides applied to the deployment's Spark sessions
 	// before testing — "testing systems under the deployment
-	// configuration (not the default configuration)".
+	// configuration (not the default configuration)". On skew runs the
+	// overrides apply to both the writer and reader stacks, after the
+	// version profiles.
 	SparkConf map[string]string
+	// Versions, when non-nil, runs the corpus on a version-skew
+	// deployment: writes on the writer stack, reads on the reader
+	// stack, plus the two skew probes per case feeding the version-skew
+	// oracle. Unknown version profiles are rejected.
+	Versions *versions.Pair
 	// Families restricts the run to the given plan families
 	// ("ss", "sh", "hs"); empty means all.
 	Families []string
@@ -88,9 +103,13 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 		return nil, fmt.Errorf("core: Parallel must be non-negative, got %d", opts.Parallel)
 	}
 	d := NewDeployment()
-	for k, v := range opts.SparkConf {
-		d.Spark.Conf().Set(k, v)
+	if opts.Versions != nil {
+		var err error
+		if d, err = NewSkewDeployment(*opts.Versions); err != nil {
+			return nil, err
+		}
 	}
+	d.SetConf(opts.SparkConf)
 	if opts.Tracer != nil {
 		d.SetTracer(opts.Tracer)
 	}
@@ -127,10 +146,25 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 		if opts.Tracer != nil {
 			c.Span = opts.Tracer.Span(nil, IfaceSystem(c.Plan.Write), csi.DataPlane, c.Plan.Name()+"/"+c.Format).
 				Set("input", c.Input.Name).Set("table", c.Table)
+			if d.Pair != nil {
+				c.Span.Set(obs.AttrWriterStack, d.Pair.Writer.String()).
+					Set(obs.AttrReaderStack, d.Pair.Reader.String())
+			}
 		}
 		c.Write = d.WriteSpan(c.Span, c.Plan.Write, c.Table, c.Format, *c.Input)
 		if c.Write.Err == nil {
 			c.Read = d.ReadSpan(c.Span, c.Plan.Read, c.Table)
+		}
+		if d.Pair != nil {
+			// Skew probes: the same table re-read on the writer stack, and
+			// a sibling table produced entirely on the reader stack.
+			if c.Write.Err == nil {
+				c.WriterRead = d.WriterReadSpan(c.Span, c.Plan.Read, c.Table)
+			}
+			c.RWWrite = d.ReaderWriteSpan(c.Span, c.Plan.Write, c.Table+"_rw", c.Format, *c.Input)
+			if c.RWWrite.Err == nil {
+				c.RWRead = d.ReadSpan(c.Span, c.Plan.Read, c.Table+"_rw")
+			}
 		}
 		c.Span.Fail(c.Write.Err).Fail(c.Read.Err).End()
 		if opts.Metrics != nil {
@@ -154,6 +188,9 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 	}
 
 	failures := applyOracles(cases)
+	if d.Pair != nil {
+		failures = append(failures, versionSkewOracle(cases)...)
+	}
 	if opts.Tracer != nil {
 		for i := range failures {
 			failures[i].Chain = obs.RenderChain(opts.Tracer.Chain(failures[i].Case.Span))
@@ -162,7 +199,7 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 	emitFailures(opts.OnFailure, failures)
 	report := buildReport(failures)
 	if opts.Metrics != nil {
-		for _, o := range []csi.Oracle{csi.OracleWriteRead, csi.OracleErrorHandling, csi.OracleDifferential} {
+		for _, o := range []csi.Oracle{csi.OracleWriteRead, csi.OracleErrorHandling, csi.OracleDifferential, csi.OracleVersionSkew} {
 			opts.Metrics.Counter("crosstest_oracle_failures_total", "oracle", o.String()).Add(int64(report.ByOracle[o]))
 		}
 		opts.Metrics.Gauge("crosstest_distinct_discrepancies").Set(float64(len(report.Found)))

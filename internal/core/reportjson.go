@@ -49,6 +49,12 @@ func (r *Report) JSON() ReportJSON {
 	for _, o := range []csi.Oracle{csi.OracleWriteRead, csi.OracleErrorHandling, csi.OracleDifferential} {
 		out.OracleFailures[o.String()] = r.ByOracle[o]
 	}
+	// The skew oracle only exists on version-skew deployments; emitting
+	// it conditionally keeps single-version report bytes (and therefore
+	// every pre-version content-addressed cache entry) unchanged.
+	if n := r.ByOracle[csi.OracleVersionSkew]; n > 0 {
+		out.OracleFailures[csi.OracleVersionSkew.String()] = n
+	}
 	for c, n := range r.CategoryCounts() {
 		out.Categories[string(c)] = n
 	}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/versions"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// charCorpus is the CHAR-prefixed corpus slice: small enough to run in
+// milliseconds, rich enough to fire all three oracles (and, skewed, the
+// skew oracle).
+func charCorpus(t *testing.T) []Input {
+	t.Helper()
+	var out []Input
+	for _, in := range corpus(t) {
+		if strings.HasPrefix(in.Name, "char") {
+			out = append(out, in)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no char-prefixed corpus inputs")
+	}
+	return out
+}
+
+func checkGolden(t *testing.T, name string, rj ReportJSON) {
+	t.Helper()
+	got, err := json.MarshalIndent(rj, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("ReportJSON bytes diverge from %s (regenerate with -update if intentional):\n got:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestReportJSONGoldenBytes pins the machine-readable report encoding
+// byte for byte. crossd content-addresses rendered results and serves
+// cached bytes verbatim, so an encoding change — reordered fields, a
+// new unconditional key, different map ordering — silently invalidates
+// every cached report; this test makes such a change an explicit,
+// reviewed golden-file diff instead.
+func TestReportJSONGoldenBytes(t *testing.T) {
+	res, err := Run(charCorpus(t), RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_char.json", res.Report.JSON())
+}
+
+// The skewed variant additionally pins the conditional "skew" oracle
+// key: present (with its count) on a skewed run, absent above — the
+// single-version encoding must never grow it.
+func TestReportJSONGoldenBytesSkewed(t *testing.T) {
+	pair, err := versions.ParsePair("2.3.0/2.3.9->3.2.1/3.1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSkew(charCorpus(t), pair, RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj := res.Report.JSON()
+	if _, ok := rj.OracleFailures["skew"]; !ok {
+		t.Error("skewed run's report JSON carries no skew oracle count")
+	}
+	checkGolden(t, "report_char_skew.json", rj)
+}

@@ -46,9 +46,13 @@ func RunTables(cases []*TableCase, opts RunOptions) (*RunResult, error) {
 		return nil, fmt.Errorf("core: Parallel must be non-negative, got %d", opts.Parallel)
 	}
 	d := NewDeployment()
-	for k, v := range opts.SparkConf {
-		d.Spark.Conf().Set(k, v)
+	if opts.Versions != nil {
+		var err error
+		if d, err = NewSkewDeployment(*opts.Versions); err != nil {
+			return nil, err
+		}
 	}
+	d.SetConf(opts.SparkConf)
 	if opts.Tracer != nil {
 		d.SetTracer(opts.Tracer)
 	}
@@ -62,6 +66,10 @@ func RunTables(cases []*TableCase, opts RunOptions) (*RunResult, error) {
 		if opts.Tracer != nil {
 			span = opts.Tracer.Span(nil, IfaceSystem(tc.Plan.Write), csi.DataPlane, tc.Plan.Name()+"/"+tc.Format).
 				Set("table", tc.Label).Set("columns", fmt.Sprint(len(tc.Columns)))
+			if d.Pair != nil {
+				span.Set(obs.AttrWriterStack, d.Pair.Writer.String()).
+					Set(obs.AttrReaderStack, d.Pair.Reader.String())
+			}
 		}
 		write := d.writeTable(span, tc.Plan.Write, tc.Label, tc.Format, tc.Columns)
 		var outcome WideOutcome
@@ -169,7 +177,8 @@ func (d *Deployment) writeTable(parent *obs.Span, iface Iface, table, format str
 	}
 }
 
-// readTable fetches the table's single row through an interface.
+// readTable fetches the table's single row through an interface, on
+// the reader stack.
 func (d *Deployment) readTable(parent *obs.Span, iface Iface, table string) WideOutcome {
 	out := WideOutcome{}
 	fill := func(cols []serde.Column, rows []sqlval.Row, warnings []string) {
@@ -180,21 +189,21 @@ func (d *Deployment) readTable(parent *obs.Span, iface Iface, table string) Wide
 	}
 	switch iface {
 	case SparkSQL:
-		res, err := d.Spark.SQLSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
+		res, err := d.ReadSpark.SQLSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
 		if err != nil {
 			out.ReadErr = err
 			return out
 		}
 		fill(res.Columns, res.Rows, res.Warnings)
 	case DataFrame:
-		res, err := d.Spark.TableSpan(parent, table)
+		res, err := d.ReadSpark.TableSpan(parent, table)
 		if err != nil {
 			out.ReadErr = err
 			return out
 		}
 		fill(res.Columns, res.Rows, res.Warnings)
 	case HiveQL:
-		res, err := d.Hive.ExecuteSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
+		res, err := d.ReadHive.ExecuteSpan(parent, fmt.Sprintf("SELECT * FROM %s", table))
 		if err != nil {
 			out.ReadErr = err
 			return out

@@ -73,6 +73,12 @@ const (
 	// OracleDifferential checks that results and behavior are consistent
 	// across interfaces and backend formats.
 	OracleDifferential
+	// OracleVersionSkew checks that results and behavior are consistent
+	// across writer-stack and reader-stack versions: the same data
+	// written/read through differently-versioned deployments of the same
+	// systems. It extends the differential oracle along the upgrade
+	// axis the paper identifies as a leading CSI failure trigger (§5).
+	OracleVersionSkew
 )
 
 // String returns the short oracle name used in the artifact's logs
@@ -85,6 +91,8 @@ func (o Oracle) String() string {
 		return "eh"
 	case OracleDifferential:
 		return "difft"
+	case OracleVersionSkew:
+		return "skew"
 	default:
 		return fmt.Sprintf("Oracle(%d)", int(o))
 	}

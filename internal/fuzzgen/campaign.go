@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/obs"
+	"repro/internal/versions"
 )
 
 // Options configure a campaign.
@@ -37,6 +38,12 @@ type Options struct {
 	// Confs is the configuration-pool size (default 6; minimum 1, the
 	// default configuration).
 	Confs int
+	// Versions arms the version axis: each case additionally draws a
+	// writer->reader version pair from versions.DefaultPairs() and runs
+	// on the matching skew deployment. Off by default — the version
+	// axis changes every case, so fixed-seed campaign hashes pinned
+	// before it existed stay valid.
+	Versions bool
 	// CorpusDir, when set, dedups new signatures against the persisted
 	// corpus and is where Promote writes reproducers.
 	CorpusDir string
@@ -108,6 +115,9 @@ func RunCampaign(opts Options) (*Result, error) {
 	}
 
 	g := NewGenerator(opts.Seed, opts.Confs)
+	if opts.Versions {
+		g.EnableVersions()
+	}
 	res := &Result{Opts: opts}
 
 	// Known signatures: the Figure-6 registry plus whatever the corpus
@@ -143,78 +153,99 @@ func RunCampaign(opts Options) (*Result, error) {
 	}
 	res.Generated = len(cases)
 
+	// Batches are (configuration, version pair) cells so each deployment
+	// is stood up once per cell. Without the version axis the pair order
+	// is the single empty spec — the pre-version batching, bit for bit.
+	pairOrder := []string{""}
+	if opts.Versions {
+		pairOrder = pairOrder[:0]
+		for _, p := range versions.DefaultPairs() {
+			pairOrder = append(pairOrder, p.String())
+		}
+	}
 	clusters := map[string]*Cluster{}
 	firstBySig := map[string]*genCase{}
+batches:
 	for confIdx := 0; confIdx < len(g.ConfPool()); confIdx++ {
-		if ctxCancelled(opts.Context) {
-			res.Cancelled = true
-			break
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			res.Stopped = true
-			break
-		}
-		var batch []*core.TableCase
-		owner := map[*core.TableCase]*genCase{}
-		groups := 0
-		for _, gc := range cases {
-			if gc.conf != confIdx {
+		for _, pairSpec := range pairOrder {
+			if ctxCancelled(opts.Context) {
+				res.Cancelled = true
+				break batches
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				res.Stopped = true
+				break batches
+			}
+			var batch []*core.TableCase
+			owner := map[*core.TableCase]*genCase{}
+			groups := 0
+			for _, gc := range cases {
+				if gc.conf != confIdx || gc.c.Pair != pairSpec {
+					continue
+				}
+				tables, err := TableCases(&gc.c, gc.index)
+				if err != nil {
+					return nil, err
+				}
+				for _, tc := range tables {
+					owner[tc] = gc
+				}
+				batch = append(batch, tables...)
+				groups++
+			}
+			if len(batch) == 0 {
 				continue
 			}
-			tables, err := TableCases(&gc.c, gc.index)
+			ro := core.RunOptions{
+				Context:   opts.Context,
+				SparkConf: g.ConfPool()[confIdx],
+				Parallel:  opts.Parallel,
+				Tracer:    opts.Tracer,
+				Metrics:   opts.Metrics,
+				OnFailure: opts.OnFailure,
+			}
+			if pairSpec != "" {
+				pair, err := versions.ParsePair(pairSpec)
+				if err != nil {
+					return nil, err
+				}
+				ro.Versions = &pair
+			}
+			run, err := core.RunTables(batch, ro)
 			if err != nil {
+				// A mid-batch cancellation drops the incomplete batch (its
+				// oracle verdicts would be partial) but keeps everything
+				// already executed; any other error aborts the campaign.
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					res.Cancelled = true
+					break batches
+				}
 				return nil, err
 			}
-			for _, tc := range tables {
-				owner[tc] = gc
-			}
-			batch = append(batch, tables...)
-			groups++
-		}
-		if len(batch) == 0 {
-			continue
-		}
-		run, err := core.RunTables(batch, core.RunOptions{
-			Context:   opts.Context,
-			SparkConf: g.ConfPool()[confIdx],
-			Parallel:  opts.Parallel,
-			Tracer:    opts.Tracer,
-			Metrics:   opts.Metrics,
-			OnFailure: opts.OnFailure,
-		})
-		if err != nil {
-			// A mid-batch cancellation drops the incomplete batch (its
-			// oracle verdicts would be partial) but keeps everything
-			// already executed; any other error aborts the campaign.
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				res.Cancelled = true
-				break
-			}
-			return nil, err
-		}
-		res.Executed += groups
-		res.TableCases += len(batch)
-		res.Failures += len(run.Failures)
-		for _, f := range run.Failures {
-			cl, ok := clusters[f.Signature]
-			if !ok {
-				cl = &Cluster{Signature: f.Signature}
-				if d, known := knownSigs[f.Signature]; known {
-					cl.Known = d.Number
+			res.Executed += groups
+			res.TableCases += len(batch)
+			res.Failures += len(run.Failures)
+			for _, f := range run.Failures {
+				cl, ok := clusters[f.Signature]
+				if !ok {
+					cl = &Cluster{Signature: f.Signature}
+					if d, known := knownSigs[f.Signature]; known {
+						cl.Known = d.Number
+					}
+					clusters[f.Signature] = cl
 				}
-				clusters[f.Signature] = cl
-			}
-			cl.Count++
-			if cl.Example == "" {
-				cl.Example = f.Detail
-			}
-			if _, seen := firstBySig[f.Signature]; !seen {
-				// Failures attach to table cases via their label prefix;
-				// recover the owning generated case for shrinking.
-				for tc, gc := range owner {
-					if tc.Label == f.Case.Table {
-						firstBySig[f.Signature] = gc
-						break
+				cl.Count++
+				if cl.Example == "" {
+					cl.Example = f.Detail
+				}
+				if _, seen := firstBySig[f.Signature]; !seen {
+					// Failures attach to table cases via their label;
+					// recover the owning generated case for shrinking.
+					for tc, gc := range owner {
+						if tc.Label == f.Case.Table {
+							firstBySig[f.Signature] = gc
+							break
+						}
 					}
 				}
 			}
@@ -310,6 +341,11 @@ func (res *Result) Render() string {
 	fmt.Fprintf(&b, "Cross-system fuzz campaign\n")
 	fmt.Fprintf(&b, "==========================\n")
 	fmt.Fprintf(&b, "seed=%d n=%d confs=%d\n", res.Opts.Seed, res.Opts.N, res.Opts.Confs)
+	if res.Opts.Versions {
+		// Printed only when the version axis is armed, so pre-version
+		// campaign hashes are untouched.
+		fmt.Fprintf(&b, "versions=on pairs=%d\n", len(versions.DefaultPairs()))
+	}
 	fmt.Fprintf(&b, "probe groups: %d, table cases: %d, oracle failures: %d\n", res.Executed, res.TableCases, res.Failures)
 	if res.Stopped {
 		fmt.Fprintf(&b, "NOTE: budget exhausted after %d of %d probe groups; this report is not reproducible\n", res.Executed, res.Generated)

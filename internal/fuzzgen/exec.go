@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/versions"
 )
 
 // maxColumnsPerCase bounds a case's schema width; column input IDs are
@@ -66,13 +67,23 @@ func TableCases(c *Case, index int) ([]*core.TableCase, error) {
 }
 
 // Execute runs a single case in isolation (the shrinker's and
-// replayer's predicate) and returns the harness result.
+// replayer's predicate) and returns the harness result. A case carrying
+// a version pair replays on the matching skew deployment — a reproducer
+// that needs the upgrade boundary keeps it.
 func Execute(c *Case, parallel int) (*core.RunResult, error) {
 	tables, err := TableCases(c, 0)
 	if err != nil {
 		return nil, err
 	}
-	return core.RunTables(tables, core.RunOptions{SparkConf: c.Conf, Parallel: parallel})
+	opts := core.RunOptions{SparkConf: c.Conf, Parallel: parallel}
+	if c.Pair != "" {
+		pair, err := versions.ParsePair(c.Pair)
+		if err != nil {
+			return nil, err
+		}
+		opts.Versions = &pair
+	}
+	return core.RunTables(tables, opts)
 }
 
 // Detects reports whether executing the case surfaces the signature.

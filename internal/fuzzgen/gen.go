@@ -7,6 +7,7 @@ import (
 	"repro/internal/confplane"
 	"repro/internal/core"
 	"repro/internal/sparksim"
+	"repro/internal/versions"
 )
 
 // ColumnSpec is one generated column: a declared type and the SQL
@@ -36,6 +37,10 @@ type Case struct {
 	Columns     []ColumnSpec      `json:"columns"`
 	Conf        map[string]string `json:"conf,omitempty"`
 	Assignments []Assignment      `json:"assignments"`
+	// Pair, when non-empty, runs the case on a version-skew deployment
+	// ("wSpark/wHive->rSpark/rHive"). omitempty keeps pre-version corpus
+	// files and case encodings byte-identical.
+	Pair string `json:"pair,omitempty"`
 }
 
 // Size is the shrinker's metric: assignments + columns + configuration
@@ -55,6 +60,21 @@ type Generator struct {
 	seed     uint64
 	confPool []map[string]string
 	plans    map[string][]core.Plan // family -> plans
+	// pairPool, when non-empty, turns on the version axis: each case
+	// draws a writer->reader pair (index 0 is the unskewed baseline, so
+	// single-version behavior stays represented in every campaign).
+	pairPool []string
+}
+
+// EnableVersions arms the version axis with the default pair matrix.
+// The pair draw is a pure function of the case seed — independent of
+// the column/assignment stream — so enabling versions changes no other
+// draw of an existing case.
+func (g *Generator) EnableVersions() {
+	g.pairPool = g.pairPool[:0]
+	for _, p := range versions.DefaultPairs() {
+		g.pairPool = append(g.pairPool, p.String())
+	}
 }
 
 // NewGenerator builds a generator. confs is the size of the per-campaign
@@ -88,6 +108,10 @@ func (g *Generator) Case(index int) Case {
 	c.Conf = g.confPool[r.Intn(len(g.confPool))]
 	c.Columns = g.columns(r)
 	c.Assignments = g.assignments(r)
+	if len(g.pairPool) > 0 {
+		pr := NewRand(DeriveSeed(seed, -2))
+		c.Pair = g.pairPool[pr.Intn(len(g.pairPool))]
+	}
 	return c
 }
 

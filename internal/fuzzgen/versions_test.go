@@ -1,0 +1,113 @@
+package fuzzgen
+
+import (
+	"testing"
+
+	"repro/internal/versions"
+)
+
+// The version axis is strictly additive: enabling it attaches a pair to
+// every case without disturbing a single other draw, and disabling it
+// leaves case encodings (and therefore pinned campaign hashes) exactly
+// as before the axis existed.
+func TestVersionAxisDoesNotPerturbCases(t *testing.T) {
+	plain := NewGenerator(11, 4)
+	armed := NewGenerator(11, 4)
+	armed.EnableVersions()
+	sawSkewed := false
+	pairs := map[string]bool{}
+	for i := 0; i < 60; i++ {
+		p, a := plain.Case(i), armed.Case(i)
+		if p.Pair != "" {
+			t.Fatalf("case %d of a plain generator carries pair %q", i, p.Pair)
+		}
+		if a.Pair == "" {
+			t.Fatalf("case %d of an armed generator carries no pair", i)
+		}
+		pr, err := versions.ParsePair(a.Pair)
+		if err != nil {
+			t.Fatalf("case %d drew invalid pair %q: %v", i, a.Pair, err)
+		}
+		if pr.Skewed() {
+			sawSkewed = true
+		}
+		pairs[a.Pair] = true
+		// Strip the pair; everything else must be identical.
+		a.Pair = ""
+		if summarizeCase(p) != summarizeCase(a) || p.Seed != a.Seed {
+			t.Fatalf("case %d differs beyond the pair:\n plain %s\n armed %s",
+				i, summarizeCase(p), summarizeCase(a))
+		}
+	}
+	if !sawSkewed {
+		t.Error("60 cases never drew a skewed pair")
+	}
+	if len(pairs) < 2 {
+		t.Errorf("60 cases drew only %d distinct pairs", len(pairs))
+	}
+}
+
+// A versioned campaign stays bit-reproducible across parallelism and
+// crosses the upgrade boundary: version-gated signatures appear that
+// the same seed never produces single-version.
+func TestVersionedCampaignDeterministicAndSkewed(t *testing.T) {
+	opts := Options{Seed: 11, N: 60, Confs: 3, Versions: true}
+	base, err := RunCampaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{2, 8} {
+		o := opts
+		o.Parallel = parallel
+		res, err := RunCampaign(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hash() != base.Hash() {
+			t.Errorf("versioned campaign hash differs at parallel=%d", parallel)
+		}
+	}
+	plain := opts
+	plain.Versions = false
+	single, err := RunCampaign(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Hash() == base.Hash() {
+		t.Error("version axis did not change the campaign outcome")
+	}
+	singleSigs := map[string]bool{}
+	for _, cl := range single.Clusters {
+		singleSigs[cl.Signature] = true
+	}
+	skewOnly := 0
+	for _, cl := range base.Clusters {
+		if !singleSigs[cl.Signature] {
+			skewOnly++
+		}
+	}
+	if skewOnly == 0 {
+		t.Error("versioned campaign produced no signature the single-version campaign lacks")
+	}
+}
+
+// A reproducer carrying a version pair replays on the skew deployment:
+// Execute honors Case.Pair and rejects an unknown one.
+func TestExecuteHonorsCasePair(t *testing.T) {
+	c := Case{
+		Columns:     []ColumnSpec{{Name: "c", Type: "CHAR(4)", Literal: "'ab'"}},
+		Assignments: []Assignment{{Plan: "w_sql_r_hive", Format: "parquet"}},
+		Pair:        "2.3.0/2.3.9->3.2.1/3.1.2",
+	}
+	res, err := Execute(&c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) == 0 {
+		t.Fatal("versioned Execute ran no cases")
+	}
+	c.Pair = "1.6.0/2.3.9->3.2.1/3.1.2"
+	if _, err := Execute(&c, 1); err == nil {
+		t.Error("Execute accepted an unknown version profile")
+	}
+}

@@ -42,9 +42,10 @@ func (e *SerDeError) Error() string {
 // Hive is the simulated Hive engine: a HiveQL front end over the shared
 // metastore and warehouse.
 type Hive struct {
-	ms     *Metastore
-	fs     *hdfssim.FileSystem
-	tracer *obs.Tracer
+	ms      *Metastore
+	fs      *hdfssim.FileSystem
+	tracer  *obs.Tracer
+	version string
 }
 
 // New creates a Hive engine over the given file system and metastore.
@@ -406,9 +407,23 @@ func (h *Hive) convertForRead(table *Table, col serde.Column, fileType sqlval.Ty
 		}
 	}
 	v = hiveReadTransform(v)
-	// Hive's ORC reader folds a struct whose members are all NULL into a
-	// NULL struct (the SPARK-40637 model).
-	if table.Format == "orc" && v.Type.Kind == sqlval.KindStruct && !v.Null {
+	profile := h.profile()
+	// Pre-HIVE-12192 releases interpret Parquet INT96 timestamps in the
+	// server's local zone rather than UTC; the modeled server runs in
+	// America/Los_Angeles.
+	if table.Format == "parquet" && profile.ParquetLocalZoneSeconds != 0 {
+		off := profile.ParquetLocalZoneSeconds
+		v = sqlval.TransformLeaves(v, func(lv sqlval.Value) sqlval.Value {
+			if lv.Type.Kind == sqlval.KindTimestamp {
+				lv.I += off * sqlval.MicrosPerSecond
+			}
+			return lv
+		})
+	}
+	// Hive 3's ORC reader folds a struct whose members are all NULL into
+	// a NULL struct (the SPARK-40637 model); Hive 2.3 returns the struct
+	// with NULL members.
+	if table.Format == "orc" && profile.OrcStructFold && v.Type.Kind == sqlval.KindStruct && !v.Null {
 		allNull := len(v.FieldVals) > 0
 		for _, fv := range v.FieldVals {
 			if !fv.Null {
@@ -421,8 +436,12 @@ func (h *Hive) convertForRead(table *Table, col serde.Column, fileType sqlval.Ty
 		}
 	}
 	// Lenient conversion to the declared type; CHAR padding is applied
-	// by the cast (Hive pads CHAR on the read side).
+	// by the cast (Hive 3 pads CHAR on the read side; Hive 2.3's reader
+	// returns the stored string unpadded).
 	out, _ := sqlval.Cast(v, col.Type, sqlval.CastHive)
+	if out.Type.Kind == sqlval.KindChar && !out.Null && !profile.ReadSideCharPadding {
+		out.S = strings.TrimRight(out.S, " ")
+	}
 	return out, nil
 }
 

@@ -1,0 +1,51 @@
+package hivesim
+
+import (
+	"fmt"
+
+	"repro/internal/versions"
+)
+
+// Version profiles for the Hive engine. The modeled baseline is Hive
+// 3.1.2 — the release the Figure-6 deployment runs — and Hive 2.3.9 is
+// the downgrade target for version-skew runs. Each behavioral gate is
+// keyed in internal/versions to the JIRA issue or migration note that
+// changed it: HIVE-12192 (3.x stores/reads Parquet timestamps in UTC
+// instead of the local zone), read-side CHAR padding semantics
+// (SPARK-40616 context), and the ORC all-NULL struct fold observed
+// against Hive 3 readers (SPARK-40637 context).
+const (
+	Version23 = versions.Hive23
+	Version31 = versions.Hive31
+)
+
+// Versions lists the supported Hive version profiles.
+func Versions() []string { return versions.HiveVersions() }
+
+// ApplyVersionProfile pins the engine to a release's read-side
+// behaviors. Engines without a profile run the modeled baseline
+// (Hive 3.1.2).
+func (h *Hive) ApplyVersionProfile(version string) error {
+	if _, ok := versions.GetHiveProfile(version); !ok {
+		return fmt.Errorf("hive: unknown version %q (have %v)", version, Versions())
+	}
+	h.version = version
+	return nil
+}
+
+// Version returns the engine's version profile name (empty when no
+// profile was applied).
+func (h *Hive) Version() string { return h.version }
+
+// profile resolves the active behavior profile, defaulting to the
+// baseline so unversioned engines behave exactly as before the version
+// axis existed.
+func (h *Hive) profile() versions.HiveProfile {
+	if h.version != "" {
+		if p, ok := versions.GetHiveProfile(h.version); ok {
+			return p
+		}
+	}
+	p, _ := versions.GetHiveProfile(versions.Hive31)
+	return p
+}

@@ -58,6 +58,17 @@ type Discrepancy struct {
 	// InConnector reports whether that module is a dedicated
 	// cross-system connector (vs. generic engine code).
 	InConnector bool
+	// SinceVersion is the "system:version" that introduced the
+	// discrepancy-relevant behavior ("" when it predates every modeled
+	// version). FixedIn is the "system:version" whose defaults remove it
+	// ("" when no modeled version does). A version-skew run whose pair
+	// straddles one of these boundaries sees the discrepancy on one side
+	// only — that is the cell-by-cell content of the skew matrix.
+	SinceVersion string
+	FixedIn      string
+	// VersionNote anchors the boundary to the JIRA issue or
+	// migration-guide entry that moved it.
+	VersionNote string
 }
 
 // Registry returns the 15 discrepancies in artifact order.
@@ -65,6 +76,7 @@ func Registry() []Discrepancy {
 	return []Discrepancy{
 		{
 			Number: 1, JIRA: "SPARK-39075",
+			SinceVersion: "spark:2.4.0", VersionNote: "SPARK-24768",
 			Module: "spark-avro connector (AvroDeserializer)", InConnector: true,
 			Title:      "Avro widens BYTE/SHORT to INT on write; the DataFrame reader throws IncompatibleSchemaException reading them back",
 			Categories: []Category{CannotRead, ConfigExposure, InconsistentError},
@@ -80,6 +92,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 3, JIRA: "HIVE-26533",
+			SinceVersion: "spark:2.4.0", VersionNote: "SPARK-24768",
 			Module: "hive Avro SerDe + HiveExternalCatalog fallback", InConnector: true,
 			Title:      "SparkSQL write/read via Avro converts BYTE/SHORT to INT and loses column-name case (warning: not case preserving)",
 			Categories: []Category{TypeViolation, ConfigExposure},
@@ -87,6 +100,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 4, JIRA: "HIVE-26531",
+			SinceVersion: "spark:2.4.0", VersionNote: "SPARK-24768",
 			Module: "hive Avro SerDe (schema conversion)", InConnector: true,
 			Title:      "Avro rejects non-string map keys that ORC and Parquet accept",
 			Categories: []Category{ConfigExposure},
@@ -94,6 +108,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 5, JIRA: "SPARK-40439",
+			SinceVersion: "spark:3.0.0", VersionNote: "SPARK-28730",
 			Module: "spark sql store assignment (generic insert path)", InConnector: false,
 			Title:      "Decimal with excess precision: SparkSQL throws, DataFrame writes NULL silently",
 			Categories: []Category{InconsistentError, CustomConfig},
@@ -110,6 +125,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 7, JIRA: "",
+			SinceVersion: "spark:3.0.0", VersionNote: "SPARK-26651",
 			Module: "spark/hive datetime rebase (generic)", InConnector: false,
 			Title:      "Same root cause as #6, different behavior: pre-Gregorian dates shift between the proleptic and hybrid calendars",
 			Categories: nil,
@@ -118,6 +134,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 8, JIRA: "SPARK-40616",
+			SinceVersion: "spark:3.1.0", VersionNote: "SPARK-33480",
 			Module: "spark char/varchar read handling (generic)", InConnector: false,
 			Title:      "CHAR(n): Hive pads to n on read, Spark strips the trailing pad",
 			Categories: []Category{TypeViolation, CustomConfig},
@@ -126,6 +143,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 9, JIRA: "SPARK-40525",
+			SinceVersion: "spark:3.0.0", VersionNote: "spark-3.0-migration:ansi",
 			Module: "spark sql cast evaluation (generic)", InConnector: false,
 			Title:      "IEEE spellings ('NaN', 'Infinity') into FLOAT/DOUBLE: SparkSQL rejects under ANSI, DataFrame and Hive accept or null silently",
 			Categories: []Category{InconsistentError, CustomConfig},
@@ -134,6 +152,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 10, JIRA: "SPARK-40624",
+			SinceVersion: "spark:3.0.0", VersionNote: "SPARK-28730",
 			Module: "spark sql store assignment (generic insert path)", InConnector: false,
 			Title:      "INT/BIGINT range violations on insert: SparkSQL throws, DataFrame wraps, Hive nulls",
 			Categories: []Category{InconsistentError, CustomConfig},
@@ -142,6 +161,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 11, JIRA: "",
+			SinceVersion: "spark:3.0.0", VersionNote: "SPARK-28730",
 			Module: "spark sql store assignment (generic insert path)", InConnector: false,
 			Title:      "Addressed with the same config as #10: TINYINT/SMALLINT range violations split the same way",
 			Categories: []Category{InconsistentError, CustomConfig},
@@ -150,6 +170,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 12, JIRA: "SPARK-40629",
+			SinceVersion: "spark:3.0.0", VersionNote: "spark-3.0-migration:ansi",
 			Module: "spark sql cast evaluation (generic)", InConnector: false,
 			Title:      "Invalid DATE/TIMESTAMP strings: SparkSQL throws, DataFrame and Hive write NULL silently",
 			Categories: []Category{InconsistentError, CustomConfig},
@@ -158,6 +179,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 13, JIRA: "",
+			SinceVersion: "spark:3.1.0", VersionNote: "SPARK-33480",
 			Module: "spark char/varchar length checks (generic)", InConnector: false,
 			Title:      "VARCHAR/CHAR length overflow: SparkSQL throws, DataFrame and Hive truncate silently; spark.sql.legacy.charVarcharAsString removes the check",
 			Categories: []Category{InconsistentError, CustomConfig},
@@ -166,6 +188,7 @@ func Registry() []Discrepancy {
 		},
 		{
 			Number: 14, JIRA: "SPARK-40637",
+			SinceVersion: "hive:3.0.0", VersionNote: "SPARK-40637",
 			Module: "hive ORC SerDe (struct reader)", InConnector: true,
 			Title:      "A struct whose members are all NULL folds to NULL through Hive's ORC reader but not Spark's",
 			Categories: nil,

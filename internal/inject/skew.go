@@ -1,0 +1,101 @@
+package inject
+
+// SkewDiscrepancy is a discrepancy that exists only between two
+// *versions* of the same deployment — the upgrade-triggered CSI
+// failures of §5. Unlike the 15 single-deployment discrepancies, a skew
+// discrepancy needs a writer stack and a reader stack on opposite sides
+// of a version boundary to surface; the version-skew oracle isolates
+// them from discrepancies both versions share.
+type SkewDiscrepancy struct {
+	ID     string // S1..S8, the artifact's skew numbering
+	Anchor string // the JIRA issue or migration-guide key that moved the behavior
+	Title  string
+	// Boundary is the "system:version" the behavior changed at.
+	Boundary string
+	// Categories are the §8.2 problem categories the skew manifests as.
+	Categories []Category
+	// Signatures are the classifier keys (skew-oracle signatures, plus
+	// any standard-oracle signatures only a skewed pair produces) that
+	// map failures onto this entry.
+	Signatures []string
+}
+
+// SkewRegistry returns the modeled version-skew discrepancies.
+func SkewRegistry() []SkewDiscrepancy {
+	return []SkewDiscrepancy{
+		{
+			ID: "S1", Anchor: "SPARK-24768", Boundary: "spark:2.4.0",
+			Title:      "Avro tables written (or read) on Spark >=2.4 have no data source at all on a 2.3 stack",
+			Categories: []Category{CannotRead},
+			Signatures: []string{"skew-avro-unavailable", "avro-unavailable"},
+		},
+		{
+			ID: "S2", Anchor: "SPARK-26651", Boundary: "spark:3.0.0",
+			Title:      "Pre-Gregorian dates written under the hybrid calendar (Spark 2.x) shift when read under the proleptic calendar (Spark 3.x), and vice versa",
+			Categories: []Category{CannotRead},
+			Signatures: []string{"skew-date-rebase"},
+		},
+		{
+			ID: "S3", Anchor: "HIVE-12192", Boundary: "hive:3.0.0",
+			Title:      "Parquet timestamps read in the server's local zone by Hive 2.x but in UTC by Hive 3.x",
+			Categories: []Category{ConfigExposure},
+			Signatures: []string{"skew-timestamp-zone"},
+		},
+		{
+			ID: "S4", Anchor: "SPARK-40616", Boundary: "hive:3.0.0",
+			Title:      "CHAR(n) values read back padded by a Hive 3 stack but unpadded by a Hive 2.3 stack",
+			Categories: []Category{TypeViolation},
+			Signatures: []string{"skew-char-padding"},
+		},
+		{
+			ID: "S5", Anchor: "SPARK-40637", Boundary: "hive:3.0.0",
+			Title:      "An ORC struct whose members are all NULL folds to NULL through Hive 3's reader but survives through Hive 2.3's",
+			Categories: []Category{TypeViolation},
+			Signatures: []string{"skew-struct-null"},
+		},
+		{
+			ID: "S6", Anchor: "SPARK-28730", Boundary: "spark:3.0.0",
+			Title:      "Out-of-range inserts silently coerced by Spark 2.x store assignment are rejected by Spark 3.x ANSI store assignment",
+			Categories: []Category{InconsistentError},
+			Signatures: []string{"skew-store-assignment"},
+		},
+		{
+			ID: "S7", Anchor: "spark-3.0-migration:ansi", Boundary: "spark:3.0.0",
+			Title:      "Invalid literals (bad dates, IEEE spellings) inserted as NULL by Spark 2.x are cast errors under Spark 3.x ANSI mode",
+			Categories: []Category{InconsistentError},
+			Signatures: []string{"skew-ansi-cast"},
+		},
+		{
+			ID: "S8", Anchor: "SPARK-33480", Boundary: "spark:3.1.0",
+			Title:      "Overlong CHAR/VARCHAR inserts truncated by Spark 2.x (charVarcharAsString) are length errors on Spark >=3.1",
+			Categories: []Category{InconsistentError},
+			Signatures: []string{"skew-char-length"},
+		},
+		{
+			ID: "S9", Anchor: "SPARK-33480", Boundary: "spark:3.1.0",
+			Title:      "CHAR/VARCHAR columns created by a pre-3.1 stack are plain STRING; the same content reads back under a different type identity",
+			Categories: []Category{TypeViolation},
+			Signatures: []string{"skew-char-type"},
+		},
+	}
+}
+
+// SkewBySignature returns the signature → skew discrepancy index.
+func SkewBySignature() map[string]SkewDiscrepancy {
+	out := make(map[string]SkewDiscrepancy)
+	for _, d := range SkewRegistry() {
+		for _, sig := range d.Signatures {
+			out[sig] = d
+		}
+	}
+	return out
+}
+
+// SkewByID returns the ID → skew discrepancy index.
+func SkewByID() map[string]SkewDiscrepancy {
+	out := make(map[string]SkewDiscrepancy)
+	for _, d := range SkewRegistry() {
+		out[d.ID] = d
+	}
+	return out
+}

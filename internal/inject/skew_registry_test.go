@@ -1,0 +1,72 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+)
+
+// Structural invariants of the skew registry, checked without running
+// the harness (the live confirmation of each entry is the golden skew
+// matrix in internal/core): sequential IDs, real-looking anchors,
+// collision-free signature index, and version boundaries on modeled
+// systems.
+func TestSkewRegistryWellFormed(t *testing.T) {
+	reg := SkewRegistry()
+	if len(reg) < 5 {
+		t.Fatalf("skew registry has %d entries, want >= 5", len(reg))
+	}
+	bySig := map[string]string{}
+	for i, d := range reg {
+		if want := "S" + string(rune('1'+i)); i < 9 && d.ID != want {
+			t.Errorf("entry %d has ID %s, want %s", i, d.ID, want)
+		}
+		jira := strings.HasPrefix(d.Anchor, "SPARK-") || strings.HasPrefix(d.Anchor, "HIVE-")
+		guide := strings.Contains(d.Anchor, ":")
+		if !jira && !guide {
+			t.Errorf("%s anchor %q is neither a JIRA id nor a migration-guide key", d.ID, d.Anchor)
+		}
+		system, _, ok := strings.Cut(d.Boundary, ":")
+		if !ok || (system != "spark" && system != "hive") {
+			t.Errorf("%s boundary %q is not spark:version or hive:version", d.ID, d.Boundary)
+		}
+		for _, sig := range d.Signatures {
+			if prev, dup := bySig[sig]; dup {
+				t.Errorf("signature %q claimed by both %s and %s", sig, prev, d.ID)
+			}
+			bySig[sig] = d.ID
+		}
+	}
+	if len(SkewBySignature()) != len(bySig) {
+		t.Errorf("SkewBySignature has %d entries, want %d", len(SkewBySignature()), len(bySig))
+	}
+	if len(SkewByID()) != len(reg) {
+		t.Errorf("SkewByID has %d entries, want %d", len(SkewByID()), len(reg))
+	}
+}
+
+// Version annotations on the standard registry: every boundary is
+// spark:/hive:-prefixed and every annotated entry carries the anchor
+// that moved the behavior.
+func TestRegistryVersionAnnotations(t *testing.T) {
+	annotated := 0
+	for _, d := range Registry() {
+		for _, b := range []string{d.SinceVersion, d.FixedIn} {
+			if b == "" {
+				continue
+			}
+			system, version, ok := strings.Cut(b, ":")
+			if !ok || (system != "spark" && system != "hive") || version == "" {
+				t.Errorf("#%d boundary %q is not spark:version or hive:version", d.Number, b)
+			}
+		}
+		if d.SinceVersion != "" || d.FixedIn != "" {
+			annotated++
+			if d.VersionNote == "" {
+				t.Errorf("#%d has a version boundary but no JIRA/migration anchor", d.Number)
+			}
+		}
+	}
+	if annotated < 5 {
+		t.Errorf("only %d registry entries carry version boundaries, want >= 5", annotated)
+	}
+}

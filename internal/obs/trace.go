@@ -59,6 +59,18 @@ type Attr struct {
 	Value string `json:"value"`
 }
 
+// Well-known attribute keys. Version-skew runs label every case span
+// with the writer and reader stack versions, so a propagation chain
+// read off a trace identifies which deployment generation each hop ran
+// under — the context §5's upgrade-triggered failures lack in siloed
+// per-system logs.
+const (
+	// AttrWriterStack is the writer deployment's "spark/hive" version pair.
+	AttrWriterStack = "writer.versions"
+	// AttrReaderStack is the reader deployment's "spark/hive" version pair.
+	AttrReaderStack = "reader.versions"
+)
+
 // Span is one traced operation at (or inside) a cross-system boundary.
 // Fields are written under the tracer's lock; read them from Snapshot
 // copies when other goroutines may still be emitting.

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/versions"
 )
 
 // Job kinds.
@@ -29,6 +30,9 @@ const (
 	KindSweep = "sweep"
 	// KindFuzz runs a fuzz campaign identified by (seed, n, confs).
 	KindFuzz = "fuzz"
+	// KindSkew runs the version-skew matrix: the corpus over every
+	// writer×reader version pair, classifying skew-only discrepancies.
+	KindSkew = "skew"
 )
 
 // JobSpec is a submitted job. The spec — not the submission — is the
@@ -48,6 +52,14 @@ type JobSpec struct {
 	N     int    `json:"n,omitempty"`
 	Confs int    `json:"confs,omitempty"`
 
+	// Skew parameters: writer->reader version pairs, each a
+	// "wSpark/wHive->rSpark/rHive" spec (a bare "spark/hive" stack is
+	// the unskewed pair). Empty means versions.DefaultPairs(). Unknown
+	// version profiles are rejected at admission — never normalized to
+	// a default, which would alias two different deployments under one
+	// cache key.
+	Pairs []string `json:"pairs,omitempty"`
+
 	// Parallel is the per-job harness worker count (not part of the
 	// cache key; values below 2 run sequentially).
 	Parallel int `json:"parallel,omitempty"`
@@ -56,10 +68,17 @@ type JobSpec struct {
 // Validate rejects malformed specs before admission.
 func (s *JobSpec) Validate() error {
 	switch s.Kind {
-	case KindCorpus, KindSweep:
+	case KindCorpus, KindSweep, KindSkew:
 		for _, f := range s.Families {
 			if f != "ss" && f != "sh" && f != "hs" {
 				return fmt.Errorf("serve: unknown plan family %q", f)
+			}
+		}
+		if s.Kind == KindSkew {
+			for _, spec := range s.Pairs {
+				if _, err := versions.ParsePair(spec); err != nil {
+					return fmt.Errorf("serve: bad version pair %q: %w", spec, err)
+				}
 			}
 		}
 	case KindFuzz:
@@ -73,7 +92,7 @@ func (s *JobSpec) Validate() error {
 			return fmt.Errorf("serve: confs must be non-negative, got %d", s.Confs)
 		}
 	default:
-		return fmt.Errorf("serve: unknown job kind %q (want %s, %s, or %s)", s.Kind, KindCorpus, KindSweep, KindFuzz)
+		return fmt.Errorf("serve: unknown job kind %q (want %s, %s, %s, or %s)", s.Kind, KindCorpus, KindSweep, KindFuzz, KindSkew)
 	}
 	if s.Parallel < 0 {
 		return fmt.Errorf("serve: parallel must be non-negative, got %d", s.Parallel)
@@ -94,6 +113,7 @@ type keySpec struct {
 	Seed     uint64            `json:"seed,omitempty"`
 	N        int               `json:"n,omitempty"`
 	Confs    int               `json:"confs,omitempty"`
+	Pairs    []string          `json:"pairs,omitempty"`
 }
 
 const cacheKeyVersion = 1
@@ -123,7 +143,7 @@ func (s *JobSpec) CacheKey() (string, error) {
 	}
 	ks := keySpec{V: cacheKeyVersion, Kind: s.Kind}
 	switch s.Kind {
-	case KindCorpus, KindSweep:
+	case KindCorpus, KindSweep, KindSkew:
 		fp, err := corpusFingerprint()
 		if err != nil {
 			return "", err
@@ -137,6 +157,23 @@ func (s *JobSpec) CacheKey() (string, error) {
 			ks.Conf = s.Conf
 		}
 		ks.Prefix = s.InputPrefix
+		if s.Kind == KindSkew {
+			// The version pairs are part of the content address, in
+			// canonical (validated, writer->reader) spelling and in
+			// submission order — pair order is cell order in the result.
+			for _, spec := range s.Pairs {
+				p, err := versions.ParsePair(spec)
+				if err != nil {
+					return "", err
+				}
+				ks.Pairs = append(ks.Pairs, p.String())
+			}
+			if len(s.Pairs) == 0 {
+				for _, p := range versions.DefaultPairs() {
+					ks.Pairs = append(ks.Pairs, p.String())
+				}
+			}
+		}
 	case KindFuzz:
 		ks.Seed = s.Seed
 		ks.N = s.N
@@ -169,6 +206,23 @@ type FuzzJSON struct {
 	NewSignatures []string      `json:"new_signatures,omitempty"`
 }
 
+// SkewCellJSON is one writer×reader cell of a skew job result.
+type SkewCellJSON struct {
+	Writer         string   `json:"writer"`
+	Reader         string   `json:"reader"`
+	Known          []int    `json:"known"`
+	SkewIDs        []string `json:"skew_ids,omitempty"`
+	SkewSignatures []string `json:"skew_signatures,omitempty"`
+	Failures       int      `json:"failures"`
+	SkewFailures   int      `json:"skew_failures"`
+}
+
+// SkewJSON is the machine-readable skew-matrix result.
+type SkewJSON struct {
+	Pairs []string       `json:"pairs"`
+	Cells []SkewCellJSON `json:"cells"`
+}
+
 // JobResult is what /result returns (and what the cache stores,
 // verbatim): the job's content address, its spec, the human-readable
 // rendering with its sha256, and the kind-specific machine-readable
@@ -182,6 +236,7 @@ type JobResult struct {
 	ReportSHA string            `json:"report_sha256"`
 	Report    *core.ReportJSON  `json:"report,omitempty"`
 	Fuzz      *FuzzJSON         `json:"fuzz,omitempty"`
+	Skew      *SkewJSON         `json:"skew,omitempty"`
 	Sweep     []core.SweepCell  `json:"sweep,omitempty"`
 	Conf      map[string]string `json:"conf,omitempty"`
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fuzzgen"
 	"repro/internal/inject"
 	"repro/internal/obs"
+	"repro/internal/versions"
 )
 
 // Executor maps job specs onto the harness entry points
@@ -101,6 +102,28 @@ func (e *Executor) Execute(ctx context.Context, spec JobSpec, onFailure func(cor
 		}
 		res.Fuzz = fuzzJSON(camp)
 		res.Rendered = camp.Render()
+	case KindSkew:
+		inputs, err := corpusInputs(spec.InputPrefix)
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := parsePairs(spec.Pairs)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.RunSkewMatrix(inputs, pairs, core.RunOptions{
+			Context:   ctx,
+			Families:  spec.Families,
+			Parallel:  spec.Parallel,
+			Tracer:    e.Tracer,
+			Metrics:   e.Metrics,
+			OnFailure: onFailure,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Skew = skewJSON(m)
+		res.Rendered = m.Render()
 	default:
 		return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
 	}
@@ -148,6 +171,41 @@ func sweepConfigs() ([]string, map[string]map[string]string) {
 		configs[name] = d.FixConf
 	}
 	return names, configs
+}
+
+// parsePairs resolves the submitted pair specs (already validated at
+// admission, but Execute re-validates: it must reject, never guess, if
+// handed an unvalidated spec). Empty means the default matrix.
+func parsePairs(specs []string) ([]versions.Pair, error) {
+	if len(specs) == 0 {
+		return versions.DefaultPairs(), nil
+	}
+	pairs := make([]versions.Pair, 0, len(specs))
+	for _, spec := range specs {
+		p, err := versions.ParsePair(spec)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad version pair %q: %w", spec, err)
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs, nil
+}
+
+func skewJSON(m *core.SkewMatrix) *SkewJSON {
+	out := &SkewJSON{}
+	for _, cell := range m.Cells {
+		out.Pairs = append(out.Pairs, cell.Pair.String())
+		out.Cells = append(out.Cells, SkewCellJSON{
+			Writer:         cell.Pair.Writer.String(),
+			Reader:         cell.Pair.Reader.String(),
+			Known:          cell.Known,
+			SkewIDs:        cell.SkewIDs,
+			SkewSignatures: cell.SkewSignatures,
+			Failures:       cell.Failures,
+			SkewFailures:   cell.SkewFailures,
+		})
+	}
+	return out
 }
 
 func fuzzJSON(camp *fuzzgen.Result) *FuzzJSON {

@@ -74,6 +74,9 @@ func (s *Session) truncate(table *hivesim.Table) error {
 // DataFrame saves. legacyDecimal selects the DataFrame writer's binary
 // decimal encoding.
 func (s *Session) writeRows(sp *obs.Span, table *hivesim.Table, fileSchema serde.Schema, rows []sqlval.Row, legacyDecimal bool) error {
+	if err := s.checkAvro(table.Format); err != nil {
+		return err
+	}
 	meta := map[string]string{
 		serde.MetaWriterEngine: "spark",
 		serde.MetaSparkSchema:  encodeSchemaDDL(fileSchema),
@@ -173,6 +176,9 @@ func (s *Session) writeRows(sp *obs.Span, table *hivesim.Table, fileSchema serde
 // file schema to reconcile exactly (SPARK-39075); lenient mode is the
 // Hive-schema fallback path.
 func (s *Session) readTable(sp *obs.Span, table *hivesim.Table, schema serde.Schema, strict bool) ([]sqlval.Row, error) {
+	if err := s.checkAvro(table.Format); err != nil {
+		return nil, err
+	}
 	format, err := serde.ByName(table.Format)
 	if err != nil {
 		return nil, err

@@ -177,6 +177,9 @@ func (s *Session) createTable(sp *obs.Span, name string, cols, partCols []serde.
 	if _, err := serde.ByName(format); err != nil {
 		return nil, err
 	}
+	if err := s.checkAvro(format); err != nil {
+		return nil, err
+	}
 	cols = s.applyCharVarcharAsString(cols)
 	msCols := cols
 	if format == "avro" {
