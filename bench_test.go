@@ -15,6 +15,7 @@ import (
 	"repro/internal/flinksim"
 	"repro/internal/inject"
 	"repro/internal/k8slike"
+	"repro/internal/obs"
 	"repro/internal/quotasim"
 	"repro/internal/redundancy"
 	"repro/internal/replay"
@@ -447,6 +448,32 @@ func BenchmarkWorkloadScale(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- Observability overhead ----------------------------------------------
+
+// TestDisabledObservabilityZeroAlloc pins the contract every benchmark
+// above relies on: with tracing, metrics, and the flight recorder
+// disabled (nil receivers), the instrumentation points that now sit on
+// the harness and scheduler hot paths cost zero allocations. A
+// regression here would silently tax every uninstrumented run.
+func TestDisabledObservabilityZeroAlloc(t *testing.T) {
+	var tracer *obs.Tracer
+	var reg *obs.Registry
+	var rec *obs.Recorder
+	ev := obs.Event{Type: obs.EvCacheHit, Job: "job-000001"}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tracer.Span(nil, csi.Spark, csi.DataPlane, "case")
+		sp.Child(csi.HDFS, csi.DataPlane, "write").Set("path", "/warehouse").Fail(nil).End()
+		sp.End()
+		reg.Counter("crossd_cache_hits_total").Inc()
+		reg.Histogram(obs.MetricStageDurationMs, nil, "stage", obs.StageRun).
+			ObserveExemplar(1.5, sp.TraceID())
+		rec.Record(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled observability hot path allocates: %.1f allocs/op, want 0", allocs)
 	}
 }
 

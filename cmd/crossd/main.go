@@ -21,8 +21,11 @@
 //	GET  /api/v1/jobs/{id}        job status
 //	GET  /api/v1/jobs/{id}/result completed report (byte-identical on cache hits)
 //	GET  /api/v1/jobs/{id}/stream NDJSON failure stream + terminal event
-//	GET  /metrics                 Prometheus text exposition
-//	GET  /healthz                 readiness (503 while draining)
+//	GET  /metrics                 Prometheus text exposition (stage
+//	                              histograms carry exemplar trace IDs)
+//	GET  /healthz                 readiness + build version (503 while draining)
+//	GET  /debug/events            flight-recorder replay (?job=ID, ?n=N)
+//	GET  /debug/pprof/...         live profiling (net/http/pprof)
 //
 // On SIGTERM/SIGINT crossd stops admitting jobs, lets queued and
 // in-flight jobs finish (up to -drain-grace, then cancels them), and
@@ -40,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -52,29 +56,55 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 128, "in-memory result cache entries (LRU)")
 	cacheDir := flag.String("cache-dir", "", "spill cached results to this directory (survives restarts)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long to let in-flight jobs finish on shutdown")
+	events := flag.Int("events", 1024, "flight-recorder ring size (0 disables /debug/events)")
+	spanCap := flag.Int("span-cap", 4096, "retained trace spans (0 disables tracing)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("crossd %s\n", buildinfo.Get())
+		return
+	}
 
-	if err := run(*addr, *workers, *queue, *jobTimeout, *cacheEntries, *cacheDir, *drainGrace); err != nil {
+	if err := run(*addr, *workers, *queue, *jobTimeout, *cacheEntries, *cacheDir, *drainGrace, *events, *spanCap); err != nil {
 		fmt.Fprintf(os.Stderr, "crossd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, jobTimeout time.Duration, cacheEntries int, cacheDir string, drainGrace time.Duration) error {
+func run(addr string, workers, queue int, jobTimeout time.Duration, cacheEntries int, cacheDir string, drainGrace time.Duration, events, spanCap int) error {
 	cache, err := serve.NewCache(cacheEntries, cacheDir)
 	if err != nil {
 		return err
 	}
 	metrics := obs.NewRegistry()
+	// Tracing and the flight recorder stay on by default: the tracer is
+	// capped (oldest spans drop) and the recorder is a fixed ring, so
+	// both are safe to leave running forever.
+	var tracer *obs.Tracer
+	if spanCap > 0 {
+		tracer = obs.NewTracer(obs.WallClock{})
+		tracer.SetCap(spanCap)
+	}
+	var recorder *obs.Recorder
+	if events > 0 {
+		recorder = obs.NewRecorder(events)
+	}
+	cache.SetRecorder(recorder)
 	sched := serve.NewScheduler(serve.SchedulerOptions{
 		Workers:    workers,
 		QueueDepth: queue,
 		JobTimeout: jobTimeout,
 		Cache:      cache,
-		Executor:   &serve.Executor{Metrics: metrics},
+		Executor:   &serve.Executor{Metrics: metrics, Tracer: tracer},
 		Metrics:    metrics,
+		Tracer:     tracer,
+		Recorder:   recorder,
 	})
-	srv := &http.Server{Addr: addr, Handler: serve.NewServer(sched, metrics)}
+	srv := &http.Server{Addr: addr, Handler: serve.NewServer(sched, serve.ServerOptions{
+		Metrics:  metrics,
+		Recorder: recorder,
+		Version:  buildinfo.Get().String(),
+	})}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

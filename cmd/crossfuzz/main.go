@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/fuzzgen"
 	"repro/internal/obs"
 )
@@ -49,7 +50,12 @@ func main() {
 	versionsFlag := flag.Bool("versions", false, "also fuzz the version axis: each case draws a writer->reader version pair (changes the campaign outcome for a given seed)")
 	traceDir := flag.String("trace", "", "record causal spans and write them to <dir>/spans.jsonl")
 	metricsFile := flag.String("metrics", "", "write Prometheus-text harness metrics to this file (\"-\" for stdout)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("crossfuzz %s\n", buildinfo.Get())
+		return
+	}
 
 	opts := fuzzgen.Options{
 		Seed:      *seed,

@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/obs"
@@ -69,7 +70,12 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write Prometheus-text harness metrics to this file (\"-\" for stdout)")
 	versionsSpec := flag.String("versions", "", "version-skew mode: \"matrix\" (default pair matrix), \"list\" (modeled versions and skew registry), or one writer->reader pair like \"2.3.0/2.3.9->3.2.1/3.1.2\"")
 	flag.Var(conf, "conf", "Spark configuration override, key=value (repeatable)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("crosstest %s\n", buildinfo.Get())
+		return
+	}
 
 	corpus, err := core.BuildCorpus()
 	if err != nil {

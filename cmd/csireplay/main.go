@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/flinksim"
 	"repro/internal/hbasesim"
@@ -39,12 +40,17 @@ import (
 var (
 	traceDir    = flag.String("trace", "", "directory to write per-scenario span JSONL files to")
 	metricsFile = flag.String("metrics", "", "file to write Prometheus-text scenario metrics to (\"-\" for stdout)")
+	version     = flag.Bool("version", false, "print build information and exit")
 
 	registry *obs.Registry
 )
 
 func main() {
 	flag.Parse()
+	if *version {
+		fmt.Printf("csireplay %s\n", buildinfo.Get())
+		return
+	}
 	which := flag.Arg(0)
 	if *metricsFile != "" {
 		registry = obs.NewRegistry()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/dataset"
 	"repro/internal/study"
 )
@@ -25,7 +26,12 @@ func main() {
 	incidents := flag.Bool("incidents", false, "print the §3 cloud-incident analysis")
 	cbs := flag.Bool("cbs", false, "print the §5.1 CBS comparison")
 	listDataset := flag.Bool("dataset", false, "list all 120 CSI failure records")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("csistudy %s\n", buildinfo.Get())
+		return
+	}
 
 	all := !*tables && !*findings && !*incidents && !*cbs && !*listDataset
 	failures, err := dataset.BuildFailures()

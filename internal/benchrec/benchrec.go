@@ -1,0 +1,169 @@
+// Package benchrec records and compares benchmark trajectories: a
+// schema-versioned JSON snapshot of the framework's throughput and
+// allocation behaviour (BENCH_1.json at the repo root), plus the
+// comparison gate that fails CI when a candidate build regresses a
+// recorded metric beyond tolerance.
+//
+// Metrics are split into portable and machine-dependent. Allocation
+// counts are deterministic for a given toolchain and gate by default;
+// throughput and latency depend on the host and are only gated when
+// explicitly requested (crossbench -all), so the CI gate stays
+// meaningful on shared runners.
+package benchrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Schema is the current record schema version. Load rejects records
+// from a different schema rather than guessing at field semantics.
+const Schema = 1
+
+// Directions for Metric.Better.
+const (
+	Higher = "higher"
+	Lower  = "lower"
+)
+
+// Metric is one measured quantity of a benchmark run.
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+	// Better says which direction is an improvement: Higher or Lower.
+	Better string `json:"better"`
+	// Portable marks machine-independent metrics (allocation counts):
+	// only these participate in the default CI gate.
+	Portable bool `json:"portable,omitempty"`
+}
+
+// Record is one benchmark snapshot.
+type Record struct {
+	Schema    int      `json:"schema"`
+	CreatedAt string   `json:"created_at"`
+	GoVersion string   `json:"go_version"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// Metric returns the named metric, if recorded.
+func (r *Record) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Validate checks the record's internal consistency.
+func (r *Record) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchrec: record schema %d, this build reads schema %d", r.Schema, Schema)
+	}
+	seen := map[string]bool{}
+	for _, m := range r.Metrics {
+		if m.Name == "" {
+			return fmt.Errorf("benchrec: metric with empty name")
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("benchrec: duplicate metric %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Better != Higher && m.Better != Lower {
+			return fmt.Errorf("benchrec: metric %q has better=%q, want %q or %q", m.Name, m.Better, Higher, Lower)
+		}
+		if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+			return fmt.Errorf("benchrec: metric %q has non-finite value", m.Name)
+		}
+	}
+	return nil
+}
+
+// Load reads and validates a record file.
+func Load(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchrec: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Write validates the record and writes it as indented JSON with a
+// trailing newline (stable for version control diffs).
+func (r *Record) Write(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Regression is one gate failure: a candidate metric worse than the
+// baseline beyond tolerance, or a baseline metric the candidate no
+// longer reports.
+type Regression struct {
+	Name     string
+	Unit     string
+	Base     float64
+	Cand     float64
+	Delta    float64 // relative change, signed: (cand-base)/base
+	Missing  bool    // the candidate did not report this metric
+	Portable bool
+}
+
+func (g Regression) String() string {
+	if g.Missing {
+		return fmt.Sprintf("%s: missing from candidate (baseline %.4g %s)", g.Name, g.Base, g.Unit)
+	}
+	return fmt.Sprintf("%s: %.4g -> %.4g %s (%+.1f%%)", g.Name, g.Base, g.Cand, g.Unit, g.Delta*100)
+}
+
+// Compare gates cand against base: every baseline metric that moved in
+// its worse direction by more than tolerance (relative) is returned as
+// a regression, as is every baseline metric the candidate dropped.
+// Unless all is set, machine-dependent metrics are skipped. Metrics
+// only the candidate reports never fail the gate — trajectories are
+// allowed to grow.
+func Compare(base, cand *Record, tolerance float64, all bool) []Regression {
+	var out []Regression
+	for _, bm := range base.Metrics {
+		if !bm.Portable && !all {
+			continue
+		}
+		cm, ok := cand.Metric(bm.Name)
+		if !ok {
+			out = append(out, Regression{Name: bm.Name, Unit: bm.Unit, Base: bm.Value, Missing: true, Portable: bm.Portable})
+			continue
+		}
+		var delta float64
+		if bm.Value != 0 {
+			delta = (cm.Value - bm.Value) / bm.Value
+		} else if cm.Value != 0 {
+			// From a zero baseline any move is all-or-nothing; the sign
+			// of the move decides which direction it counts as.
+			delta = math.Copysign(math.Inf(1), cm.Value)
+		}
+		worse := (bm.Better == Higher && delta < -tolerance) ||
+			(bm.Better == Lower && delta > tolerance)
+		if worse {
+			out = append(out, Regression{
+				Name: bm.Name, Unit: bm.Unit,
+				Base: bm.Value, Cand: cm.Value, Delta: delta, Portable: bm.Portable,
+			})
+		}
+	}
+	return out
+}

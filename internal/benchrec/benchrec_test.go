@@ -1,0 +1,127 @@
+package benchrec
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func record(metrics ...Metric) *Record {
+	return &Record{Schema: Schema, CreatedAt: "2026-08-08T00:00:00Z", GoVersion: "go1.24.0", Metrics: metrics}
+}
+
+// The acceptance criterion: a synthetic >15% regression on a portable
+// metric fails the gate; a move inside tolerance does not.
+func TestCompareFlagsRegressionBeyondTolerance(t *testing.T) {
+	base := record(Metric{Name: "allocs_per_case", Unit: "allocs", Value: 100, Better: Lower, Portable: true})
+
+	worse := record(Metric{Name: "allocs_per_case", Unit: "allocs", Value: 120, Better: Lower, Portable: true})
+	regs := Compare(base, worse, 0.15, false)
+	if len(regs) != 1 {
+		t.Fatalf("20%% regression produced %d regressions, want 1", len(regs))
+	}
+	if regs[0].Name != "allocs_per_case" || regs[0].Delta < 0.19 || regs[0].Delta > 0.21 {
+		t.Errorf("regression = %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "allocs_per_case") {
+		t.Errorf("rendering: %s", regs[0])
+	}
+
+	within := record(Metric{Name: "allocs_per_case", Unit: "allocs", Value: 114, Better: Lower, Portable: true})
+	if regs := Compare(base, within, 0.15, false); len(regs) != 0 {
+		t.Errorf("14%% move inside tolerance flagged: %+v", regs)
+	}
+
+	improved := record(Metric{Name: "allocs_per_case", Unit: "allocs", Value: 50, Better: Lower, Portable: true})
+	if regs := Compare(base, improved, 0.15, false); len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+// Direction matters: for higher-is-better metrics a drop regresses, a
+// rise never does.
+func TestCompareDirection(t *testing.T) {
+	base := record(Metric{Name: "cases_per_sec", Unit: "cases/s", Value: 1000, Better: Higher, Portable: true})
+	if regs := Compare(base, record(Metric{Name: "cases_per_sec", Unit: "cases/s", Value: 800, Better: Higher, Portable: true}), 0.15, false); len(regs) != 1 {
+		t.Errorf("20%% throughput drop not flagged: %+v", regs)
+	}
+	if regs := Compare(base, record(Metric{Name: "cases_per_sec", Unit: "cases/s", Value: 5000, Better: Higher, Portable: true}), 0.15, false); len(regs) != 0 {
+		t.Errorf("throughput gain flagged: %+v", regs)
+	}
+}
+
+// Machine-dependent metrics are exempt from the default gate and
+// included with all=true — the CI-flake firewall.
+func TestCompareMachineMetricsGatedOnlyWithAll(t *testing.T) {
+	base := record(Metric{Name: "service_cold_ms", Unit: "ms", Value: 100, Better: Lower})
+	cand := record(Metric{Name: "service_cold_ms", Unit: "ms", Value: 500, Better: Lower})
+	if regs := Compare(base, cand, 0.15, false); len(regs) != 0 {
+		t.Errorf("machine metric gated by default: %+v", regs)
+	}
+	if regs := Compare(base, cand, 0.15, true); len(regs) != 1 {
+		t.Errorf("machine metric not gated under -all: %+v", regs)
+	}
+}
+
+// A baseline metric the candidate stopped reporting is a regression;
+// new candidate-only metrics are not.
+func TestCompareMissingAndExtraMetrics(t *testing.T) {
+	base := record(Metric{Name: "allocs_per_case", Unit: "allocs", Value: 100, Better: Lower, Portable: true})
+	cand := record(Metric{Name: "brand_new", Unit: "x", Value: 1, Better: Higher, Portable: true})
+	regs := Compare(base, cand, 0.15, false)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("dropped metric not flagged: %+v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Errorf("rendering: %s", regs[0])
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := record(Metric{Name: "extra_allocs", Unit: "allocs", Value: 0, Better: Lower, Portable: true})
+	if regs := Compare(base, record(Metric{Name: "extra_allocs", Unit: "allocs", Value: 3, Better: Lower, Portable: true}), 0.15, false); len(regs) != 1 {
+		t.Errorf("growth from zero not flagged on a lower-is-better metric: %+v", regs)
+	}
+	if regs := Compare(base, record(Metric{Name: "extra_allocs", Unit: "allocs", Value: 0, Better: Lower, Portable: true}), 0.15, false); len(regs) != 0 {
+		t.Errorf("zero -> zero flagged: %+v", regs)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	r := record(
+		Metric{Name: "a", Unit: "x", Value: 1.5, Better: Higher, Portable: true},
+		Metric{Name: "b", Unit: "y", Value: 2, Better: Lower},
+	)
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Metrics) != 2 || got.Metrics[0] != r.Metrics[0] {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if m, ok := got.Metric("b"); !ok || m.Value != 2 {
+		t.Errorf("Metric lookup: %+v %v", m, ok)
+	}
+}
+
+// Schema and shape violations are load/write errors, not silent
+// acceptance — a future schema bump must not reinterpret old files.
+func TestValidateRejections(t *testing.T) {
+	for name, r := range map[string]*Record{
+		"wrong-schema": {Schema: 2, Metrics: []Metric{{Name: "a", Better: Lower}}},
+		"bad-better":   record(Metric{Name: "a", Better: "sideways"}),
+		"dup-name":     record(Metric{Name: "a", Better: Lower}, Metric{Name: "a", Better: Lower}),
+		"empty-name":   record(Metric{Better: Lower}),
+	} {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}

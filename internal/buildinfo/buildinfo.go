@@ -1,0 +1,67 @@
+// Package buildinfo surfaces the binary's build identity — module
+// version, VCS revision, and toolchain — from the metadata the Go
+// linker already embeds (debug.ReadBuildInfo). Every CLI exposes it
+// behind -version and crossd reports it from /healthz, so a failure
+// report or a drained service can always be tied back to the exact
+// build that produced it. No build-time ldflags are required.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module's version: a tagged release when built
+	// from the module proxy, "(devel)" for source builds, "unknown"
+	// when no build info is embedded (e.g. some test binaries).
+	Version string `json:"version"`
+	// Revision is the full VCS commit hash, empty when the build ran
+	// outside a checkout (or with -buildvcs=false).
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes in the build checkout.
+	Dirty bool `json:"dirty,omitempty"`
+	// Go is the toolchain that built the binary (runtime.Version()).
+	Go string `json:"go"`
+}
+
+// Get reads the embedded build metadata. It never fails: missing
+// pieces degrade to "unknown"/empty rather than erroring, because a
+// -version flag must work in every build mode.
+func Get() Info {
+	info := Info{Version: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, the form the -version flags
+// print: `(devel) (abc123def456-dirty) go1.22.0`.
+func (i Info) String() string {
+	out := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Dirty {
+			rev += "-dirty"
+		}
+		out += " (" + rev + ")"
+	}
+	return out + " " + i.Go
+}

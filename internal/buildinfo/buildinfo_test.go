@@ -1,0 +1,46 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Get must always produce a usable identity: test binaries have build
+// info embedded (a module path and the toolchain), and every field
+// degrades gracefully rather than erroring.
+func TestGetNeverFails(t *testing.T) {
+	info := Get()
+	if info.Version == "" {
+		t.Error("Version is empty; want a version string or \"unknown\"")
+	}
+	if info.Go != runtime.Version() {
+		t.Errorf("Go = %q, want %q", info.Go, runtime.Version())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	for _, tc := range []struct {
+		info Info
+		want string
+	}{
+		{Info{Version: "(devel)", Go: "go1.22.0"}, "(devel) go1.22.0"},
+		{Info{Version: "v1.2.3", Revision: "0123456789abcdef", Go: "go1.22.0"}, "v1.2.3 (0123456789ab) go1.22.0"},
+		{Info{Version: "v1.2.3", Revision: "abc123", Dirty: true, Go: "go1.22.0"}, "v1.2.3 (abc123-dirty) go1.22.0"},
+		{Info{Version: "unknown", Go: "go1.22.0"}, "unknown go1.22.0"},
+	} {
+		if got := tc.info.String(); got != tc.want {
+			t.Errorf("String(%+v) = %q, want %q", tc.info, got, tc.want)
+		}
+	}
+}
+
+func TestStringMatchesGet(t *testing.T) {
+	s := Get().String()
+	if !strings.Contains(s, runtime.Version()) {
+		t.Errorf("String() = %q does not mention the toolchain", s)
+	}
+	if strings.Count(s, " ") < 1 {
+		t.Errorf("String() = %q not in 'version [rev] go' form", s)
+	}
+}

@@ -51,17 +51,17 @@ func writeSeries(w io.Writer, name, key string, fam *family, s any) error {
 		_, err := fmt.Fprintf(w, "%s%s %s\n", name, key, formatFloat(m.Value()))
 		return err
 	case *Histogram:
-		bounds, counts, sum, count := m.snapshot()
+		bounds, counts, exemplars, sum, count := m.snapshot()
 		cum := int64(0)
 		for i, b := range bounds {
 			cum += counts[i]
 			le := append(append([]Attr(nil), fam.labels[key]...), Attr{Key: "le", Value: formatFloat(b)})
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelKey(le), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelKey(le), cum, exemplarSuffix(exemplars, i)); err != nil {
 				return err
 			}
 		}
 		inf := append(append([]Attr(nil), fam.labels[key]...), Attr{Key: "le", Value: "+Inf"})
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelKey(inf), count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelKey(inf), count, exemplarSuffix(exemplars, len(bounds))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, key, formatFloat(sum)); err != nil {
@@ -76,15 +76,27 @@ func writeSeries(w io.Writer, name, key string, fam *family, s any) error {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// exemplarSuffix renders bucket i's exemplar in the OpenMetrics
+// syntax — ` # {trace_id="..."} value` — or "" when the bucket has
+// none. Plain Prometheus scrapers that predate OpenMetrics should use
+// ParsePrometheus, which strips the suffix.
+func exemplarSuffix(exemplars []Exemplar, i int) string {
+	if i >= len(exemplars) || exemplars[i].TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", exemplars[i].TraceID, formatFloat(exemplars[i].Value))
+}
+
 // metricJSON is the export shape of one series.
 type metricJSON struct {
-	Name    string            `json:"name"`
-	Kind    string            `json:"kind"`
-	Labels  map[string]string `json:"labels,omitempty"`
-	Value   *float64          `json:"value,omitempty"`
-	Sum     *float64          `json:"sum,omitempty"`
-	Count   *int64            `json:"count,omitempty"`
-	Buckets map[string]int64  `json:"buckets,omitempty"`
+	Name      string              `json:"name"`
+	Kind      string              `json:"kind"`
+	Labels    map[string]string   `json:"labels,omitempty"`
+	Value     *float64            `json:"value,omitempty"`
+	Sum       *float64            `json:"sum,omitempty"`
+	Count     *int64              `json:"count,omitempty"`
+	Buckets   map[string]int64    `json:"buckets,omitempty"`
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
 }
 
 // WriteJSON writes the registry as a JSON array of series, sorted like
@@ -123,15 +135,27 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				v := m.Value()
 				row.Value = &v
 			case *Histogram:
-				bounds, counts, sum, count := m.snapshot()
+				bounds, counts, exemplars, sum, count := m.snapshot()
 				row.Sum, row.Count = &sum, &count
 				row.Buckets = map[string]int64{}
 				cum := int64(0)
 				for i, b := range bounds {
 					cum += counts[i]
 					row.Buckets[formatFloat(b)] = cum
+					if i < len(exemplars) && exemplars[i].TraceID != "" {
+						if row.Exemplars == nil {
+							row.Exemplars = map[string]Exemplar{}
+						}
+						row.Exemplars[formatFloat(b)] = exemplars[i]
+					}
 				}
 				row.Buckets["+Inf"] = count
+				if i := len(bounds); i < len(exemplars) && exemplars[i].TraceID != "" {
+					if row.Exemplars == nil {
+						row.Exemplars = map[string]Exemplar{}
+					}
+					row.Exemplars["+Inf"] = exemplars[i]
+				}
 			}
 			rows = append(rows, row)
 		}
@@ -145,7 +169,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // ParsePrometheus parses the text exposition format back into a map
 // from "name{labels}" to value, validating each line's syntax. It
 // accepts the subset WritePrometheus emits (comments, blank lines,
-// and "metric value" samples).
+// "metric value" samples, and OpenMetrics exemplar suffixes, which are
+// stripped).
 func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 	out := map[string]float64{}
 	sc := bufio.NewScanner(r)
@@ -156,6 +181,7 @@ func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
+		text = strings.TrimSpace(stripExemplar(text))
 		sp := strings.LastIndexByte(text, ' ')
 		if sp < 0 {
 			return nil, fmt.Errorf("obs: line %d: no value in %q", line, text)
@@ -196,6 +222,27 @@ func validateMetricRef(s string) error {
 		return fmt.Errorf("bad metric name %q", name)
 	}
 	return nil
+}
+
+// stripExemplar drops an OpenMetrics exemplar suffix (` # {...} v`)
+// from a sample line. The marker is only honored outside quoted label
+// values, so a label value containing " # " cannot truncate the
+// sample.
+func stripExemplar(s string) string {
+	quoted := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				quoted = !quoted
+			}
+		case '#':
+			if !quoted && i > 0 && s[i-1] == ' ' {
+				return s[:i-1]
+			}
+		}
+	}
+	return s
 }
 
 // splitLabels splits on commas outside quoted values.

@@ -56,17 +56,34 @@ func (g *Gauge) Value() float64 {
 
 // Histogram is a fixed-bucket histogram. Buckets are upper bounds,
 // inclusive (Prometheus `le` semantics); observations above the last
-// bound land in the implicit +Inf bucket.
+// bound land in the implicit +Inf bucket. Each bucket can additionally
+// carry one exemplar — a trace ID attached to a recent observation —
+// so a tail-latency bucket links directly to the causal span chain
+// that produced it.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []int64 // len(bounds)+1; last is +Inf
-	sum    float64
-	count  int64
+	mu        sync.Mutex
+	bounds    []float64
+	counts    []int64    // len(bounds)+1; last is +Inf
+	exemplars []Exemplar // lazily allocated, parallel to counts; zero TraceID = none
+	sum       float64
+	count     int64
+}
+
+// Exemplar is one trace-linked observation retained for a bucket: the
+// last exemplar-carrying observation that landed in it wins.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // Observe records one observation.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// ObserveExemplar records one observation and, when traceID is
+// non-empty, stores it as the landing bucket's exemplar (replacing any
+// previous one). The exemplar slice is allocated on first use, so
+// exemplar-free histograms pay nothing.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if h == nil {
 		return
 	}
@@ -76,6 +93,12 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.count++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.bounds)+1)
+		}
+		h.exemplars[i] = Exemplar{TraceID: traceID, Value: v}
+	}
 }
 
 // Count returns the number of observations.
@@ -98,11 +121,15 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// snapshot returns bounds and per-bucket (non-cumulative) counts.
-func (h *Histogram) snapshot() (bounds []float64, counts []int64, sum float64, count int64) {
+// snapshot returns bounds, per-bucket (non-cumulative) counts, and
+// per-bucket exemplars (nil when none were ever recorded).
+func (h *Histogram) snapshot() (bounds []float64, counts []int64, exemplars []Exemplar, sum float64, count int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...), h.sum, h.count
+	return append([]float64(nil), h.bounds...),
+		append([]int64(nil), h.counts...),
+		append([]Exemplar(nil), h.exemplars...),
+		h.sum, h.count
 }
 
 // Registry holds named metric families, each with labelled series.

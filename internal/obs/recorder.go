@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Flight-recorder event types emitted by the crossd serving layer. The
+// vocabulary lives here — next to the recorder that stores it and the
+// metric names in service.go — so the server, its tests, and debug
+// tooling agree on one taxonomy.
+const (
+	// Job lifecycle: admission through terminal state.
+	EvJobAdmitted  = "job_admitted"
+	EvJobCoalesced = "job_coalesced"
+	EvJobRejected  = "job_rejected" // Detail carries the reason (queue_full, draining, invalid)
+	EvJobStarted   = "job_started"
+	EvJobDone      = "job_done"
+	EvJobFailed    = "job_failed"
+	EvJobCancelled = "job_cancelled"
+	// Result-cache activity.
+	EvCacheHit   = "cache_hit"
+	EvCacheMiss  = "cache_miss"
+	EvCacheEvict = "cache_evict"
+	// Drain transitions on shutdown.
+	EvDrainBegin = "drain_begin"
+	EvDrainEnd   = "drain_end"
+	// One oracle firing during a job run; Detail carries the signature.
+	EvOracleFailure = "oracle_failure"
+)
+
+// Event is one structured flight-recorder entry. Seq and TimeNs are
+// stamped by Record; everything else is caller-provided. The struct is
+// all value fields so recording a disabled (nil) recorder allocates
+// nothing.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	TimeNs int64  `json:"t_ns"`
+	Type   string `json:"type"`
+	Job    string `json:"job,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder is a fixed-size ring buffer of recent structured events —
+// the service's flight recorder. Recording is one short critical
+// section and never allocates once the ring is built; a nil *Recorder
+// is a no-op, so instrumented paths need no enabled/disabled branches.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever recorded; ring[next%len] is the next slot
+}
+
+// NewRecorder builds a recorder retaining the last size events
+// (minimum 1).
+func NewRecorder(size int) *Recorder {
+	if size < 1 {
+		size = 1
+	}
+	return &Recorder{ring: make([]Event, size)}
+}
+
+// Record stamps the event with its sequence number and wall-clock time
+// and stores it, overwriting the oldest entry when the ring is full.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	r.mu.Lock()
+	ev.Seq = r.next
+	ev.TimeNs = now
+	r.ring[r.next%uint64(len(r.ring))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (including ones the
+// ring has since overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.ring))
+	start := uint64(0)
+	count := r.next
+	if r.next > n {
+		start = r.next - n
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for seq := start; seq < r.next; seq++ {
+		out = append(out, r.ring[seq%n])
+	}
+	return out
+}

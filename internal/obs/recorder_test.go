@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRecorderRingSemantics pins the flight-recorder contract: a full
+// ring drops the oldest events, sequence numbers stay global and
+// monotonic, and Events returns oldest-first.
+func TestRecorderRingSemantics(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Type: EvCacheHit, Detail: string(rune('a' + i))})
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+		if ev.TimeNs == 0 {
+			t.Errorf("event %d not timestamped", i)
+		}
+	}
+	if evs[0].Detail != "g" || evs[3].Detail != "j" {
+		t.Errorf("ring kept wrong window: %+v", evs)
+	}
+}
+
+// TestRecorderPartialRing covers the not-yet-wrapped case.
+func TestRecorderPartialRing(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Type: EvJobAdmitted, Job: "job-1"})
+	r.Record(Event{Type: EvJobDone, Job: "job-1"})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Type != EvJobAdmitted || evs[1].Type != EvJobDone {
+		t.Errorf("order wrong: %+v", evs)
+	}
+}
+
+// TestNilRecorderIsNoOp: like every obs entry point, a disabled
+// recorder is a nil pointer and every call on it is safe.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Type: EvDrainBegin})
+	if r.Total() != 0 || r.Events() != nil {
+		t.Error("nil recorder retained state")
+	}
+}
+
+// TestDisabledRecorderAllocationFree pins the zero-allocations-when-
+// disabled acceptance criterion for the recording hot path.
+func TestDisabledRecorderAllocationFree(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(Event{Type: EvOracleFailure, Job: "job-000001", Detail: "sig"})
+	})
+	if allocs != 0 {
+		t.Errorf("disabled recorder allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEnabledRecorderAllocationFree: once the ring exists, recording
+// itself never allocates either — the buffer is fixed-size.
+func TestEnabledRecorderAllocationFree(t *testing.T) {
+	r := NewRecorder(16)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(Event{Type: EvCacheMiss, Job: "job-000001"})
+	})
+	if allocs != 0 {
+		t.Errorf("enabled recorder allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(Event{Type: EvCacheHit})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 1600 {
+		t.Errorf("Total = %d, want 1600", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("gap in retained window at %d: %d -> %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

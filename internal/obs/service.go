@@ -28,6 +28,23 @@ const (
 	// MetricJobDurationMs is the execution latency histogram, labelled
 	// by kind.
 	MetricJobDurationMs = "crossd_job_duration_ms"
+	// MetricStageDurationMs is the per-stage latency histogram of the
+	// job pipeline, labelled by stage (StageQueueWait, StageCacheProbe,
+	// StageRun, StageEncode). Buckets carry exemplar trace IDs linking
+	// a latency bucket to the causal span chain of the job that landed
+	// in it.
+	MetricStageDurationMs = "crossd_stage_duration_ms"
+)
+
+// The stages of the crossd job pipeline, in order: admission queue
+// wait, content-address cache probe, harness execution, and result
+// encoding. Together the four stage histograms decompose a job's
+// wall-clock latency.
+const (
+	StageQueueWait  = "queue_wait"
+	StageCacheProbe = "cache_probe"
+	StageRun        = "run"
+	StageEncode     = "encode"
 )
 
 // SetHitRatio recomputes and stores the cache hit ratio gauge from the

@@ -18,8 +18,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/csi"
 )
@@ -29,6 +31,14 @@ import (
 // that still preserves causal order.
 type Clock interface{ Now() int64 }
 
+// WallClock is a Clock over real time, for long-running services
+// (crossd) whose spans should carry wall-clock milliseconds rather
+// than virtual or step time.
+type WallClock struct{}
+
+// Now returns the current wall time in Unix milliseconds.
+func (WallClock) Now() int64 { return time.Now().UnixMilli() }
+
 // Tracer records spans. It is safe for concurrent use: span creation
 // and mutation synchronize on the tracer's lock.
 type Tracer struct {
@@ -36,6 +46,7 @@ type Tracer struct {
 	clock Clock
 	ticks int64
 	seq   int64
+	cap   int // 0 = unbounded
 	spans []*Span
 }
 
@@ -50,6 +61,20 @@ func (t *Tracer) SetClock(c Clock) {
 	}
 	t.mu.Lock()
 	t.clock = c
+	t.mu.Unlock()
+}
+
+// SetCap bounds the number of retained spans (0 = unbounded, the
+// default). When the cap is reached, the oldest half of the retained
+// spans is dropped, so a long-running service traces forever in
+// bounded memory — like the flight recorder, recent history wins.
+// Chains reconstructed for dropped spans come back partial or empty.
+func (t *Tracer) SetCap(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cap = n
 	t.mu.Unlock()
 }
 
@@ -108,8 +133,22 @@ func (t *Tracer) Span(parent *Span, system csi.System, plane csi.Plane, name str
 	if parent != nil {
 		s.ParentID = parent.ID
 	}
+	if t.cap > 0 && len(t.spans) >= t.cap {
+		// Copy into a fresh slice so the dropped half is released.
+		t.spans = append(t.spans[:0:0], t.spans[len(t.spans)/2:]...)
+	}
 	t.spans = append(t.spans, s)
 	return s
+}
+
+// TraceID returns a stable hex identifier for the span, usable as a
+// histogram exemplar trace ID that joins back to the span chain; empty
+// for nil spans.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%08x", s.ID)
 }
 
 // Child starts a span under s.

@@ -147,6 +147,47 @@ func TestSetClock(t *testing.T) {
 	}
 }
 
+// TestTracerCap: a capped tracer drops the oldest half of its spans
+// at the cap, keeps IDs monotonic, and never exceeds the bound — so a
+// long-running service can leave tracing on forever.
+func TestTracerCap(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetCap(8)
+	for i := 0; i < 100; i++ {
+		tr.Span(nil, csi.Spark, csi.DataPlane, "case").End()
+		if tr.Len() > 8 {
+			t.Fatalf("tracer grew to %d spans past cap 8", tr.Len())
+		}
+	}
+	spans := tr.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("capped tracer retained nothing")
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID <= spans[i-1].ID {
+			t.Fatalf("IDs not monotonic after eviction: %d then %d", spans[i-1].ID, spans[i].ID)
+		}
+	}
+	if newest := spans[len(spans)-1].ID; newest != 100 {
+		t.Errorf("newest span ID = %d, want 100 (eviction must drop the oldest)", newest)
+	}
+	var nilTr *Tracer
+	nilTr.SetCap(4) // nil-safe like every obs entry point
+}
+
+// TestSpanTraceID pins the exemplar trace-ID format and nil-safety.
+func TestSpanTraceID(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.Span(nil, csi.Spark, csi.DataPlane, "job/fuzz")
+	if got := sp.TraceID(); got != "00000001" {
+		t.Errorf("TraceID = %q, want 00000001", got)
+	}
+	var nilSpan *Span
+	if nilSpan.TraceID() != "" {
+		t.Error("nil span has a trace ID")
+	}
+}
+
 func BenchmarkDisabledSpan(b *testing.B) {
 	var tr *Tracer
 	b.ReportAllocs()

@@ -267,9 +267,13 @@ type JobStatus struct {
 // StreamEvent is one NDJSON line of /jobs/{id}/stream: a failure as an
 // oracle fires, then a terminal event.
 type StreamEvent struct {
-	Type      string `json:"type"` // "failure" | "done" | "failed" | "cancelled"
-	Job       string `json:"job"`
-	Seq       int    `json:"seq"`
+	Type string `json:"type"` // "failure" | "done" | "failed" | "cancelled"
+	Job  string `json:"job"`
+	Seq  int    `json:"seq"`
+	// Trace is the job's root-span trace ID (empty when tracing is
+	// off): the same ID the stage histograms carry as exemplars, so an
+	// NDJSON failure line joins back to its causal span chain.
+	Trace     string `json:"trace,omitempty"`
 	Oracle    string `json:"oracle,omitempty"`
 	Signature string `json:"signature,omitempty"`
 	Detail    string `json:"detail,omitempty"`

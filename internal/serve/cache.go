@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Cache is the content-addressed result cache: an in-memory LRU over
@@ -20,6 +22,7 @@ type Cache struct {
 	ll         *list.List // front = most recent
 	entries    map[string]*list.Element
 	dir        string // "" = memory only
+	recorder   *obs.Recorder
 
 	hits, misses, evictions int64
 }
@@ -117,10 +120,16 @@ func (c *Cache) insertLocked(key string, data []byte) {
 	for c.ll.Len() > c.maxEntries {
 		back := c.ll.Back()
 		c.ll.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
+		evicted := back.Value.(*cacheEntry).key
+		delete(c.entries, evicted)
 		c.evictions++
+		c.recorder.Record(obs.Event{Type: obs.EvCacheEvict, Key: evicted})
 	}
 }
+
+// SetRecorder attaches a flight recorder that receives one EvCacheEvict
+// per LRU eviction. Call before the cache is shared across goroutines.
+func (c *Cache) SetRecorder(r *obs.Recorder) { c.recorder = r }
 
 // Stats returns cumulative hit/miss/eviction counts and the current
 // in-memory entry count.

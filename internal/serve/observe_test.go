@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The tentpole acceptance path: a job's wall clock decomposes into the
+// four pipeline stages, each exported as a labelled histogram whose
+// buckets carry the job's trace ID as an exemplar, joined to a root
+// span in the tracer.
+func TestStageMetricsWithExemplars(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.WallClock{})
+	rec := obs.NewRecorder(64)
+	srv, _, _ := newTestServer(t, SchedulerOptions{Metrics: reg, Tracer: tracer, Recorder: rec})
+	_, st := postJob(t, srv.URL, smallFuzzSpec())
+	getResult(t, srv.URL, st.ID)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	for _, stage := range []string{obs.StageQueueWait, obs.StageCacheProbe, obs.StageRun, obs.StageEncode} {
+		if !strings.Contains(text, obs.MetricStageDurationMs+`_count{stage="`+stage+`"} 1`) {
+			t.Errorf("/metrics missing stage %q breakdown:\n%s", stage, text)
+		}
+	}
+	// At least one bucket line must carry an exemplar trace ID, and
+	// that ID must resolve to a span the tracer retained.
+	var trace string
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, obs.MetricStageDurationMs+"_bucket") {
+			continue
+		}
+		if i := strings.Index(line, `# {trace_id="`); i >= 0 {
+			trace = line[i+len(`# {trace_id="`):]
+			trace = trace[:strings.Index(trace, `"`)]
+			break
+		}
+	}
+	if trace == "" {
+		t.Fatalf("no stage bucket carries an exemplar:\n%s", text)
+	}
+	found := false
+	for _, sp := range tracer.Snapshot() {
+		if sp.TraceID() == trace && sp.System == systemCrossd && strings.HasPrefix(sp.Name, "job/") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("exemplar trace %q does not resolve to a job root span", trace)
+	}
+}
+
+// /debug/events replays the flight-recorder window for a just-finished
+// job: admission, cache miss, start, and completion, in order, plus a
+// coherent view under the ?job= and ?n= filters.
+func TestDebugEventsReplay(t *testing.T) {
+	// The fuzz job alone fires >100 oracle events; size the ring so the
+	// admission events survive to the replay.
+	rec := obs.NewRecorder(1024)
+	srv, _, _ := newTestServer(t, SchedulerOptions{Recorder: rec})
+	_, st := postJob(t, srv.URL, smallFuzzSpec())
+	getResult(t, srv.URL, st.ID)
+
+	getEvents := func(query string) eventsBody {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/events" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/debug/events%s returned %d", query, resp.StatusCode)
+		}
+		var body eventsBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	body := getEvents("?job=" + st.ID)
+	var types []string
+	for _, ev := range body.Events {
+		types = append(types, ev.Type)
+		if ev.Job != st.ID {
+			t.Errorf("job filter leaked event %+v", ev)
+		}
+	}
+	joined := strings.Join(types, ",")
+	for _, seq := range []string{obs.EvCacheMiss, obs.EvJobAdmitted, obs.EvJobStarted, obs.EvJobDone} {
+		if !strings.Contains(joined, seq) {
+			t.Errorf("job %s events missing %q: %v", st.ID, seq, types)
+		}
+	}
+	if types[len(types)-1] != obs.EvJobDone {
+		t.Errorf("last event for a done job is %q", types[len(types)-1])
+	}
+	// The fuzz seed produces oracle failures; each must be recorded.
+	if !strings.Contains(joined, obs.EvOracleFailure) {
+		t.Errorf("no oracle firings recorded: %v", types)
+	}
+
+	// A resubmission is a cache hit, visible in the unfiltered feed.
+	postJob(t, srv.URL, smallFuzzSpec())
+	all := getEvents("")
+	hit := false
+	for _, ev := range all.Events {
+		if ev.Type == obs.EvCacheHit {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("cache hit not recorded; feed: %+v", all.Events)
+	}
+	if all.Total != uint64(rec.Total()) || all.Total == 0 {
+		t.Errorf("total = %d, recorder says %d", all.Total, rec.Total())
+	}
+
+	last := getEvents("?n=1")
+	if len(last.Events) != 1 {
+		t.Fatalf("?n=1 returned %d events", len(last.Events))
+	}
+	if resp, err := http.Get(srv.URL + "/debug/events?n=-1"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("negative n returned %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+// Without a recorder the endpoint is absent, not empty — a deployment
+// that disables the ring should fail probes loudly.
+func TestDebugEventsDisabled(t *testing.T) {
+	srv, _, _ := newTestServer(t, SchedulerOptions{})
+	resp, err := http.Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/events without a recorder returned %d, want 404", resp.StatusCode)
+	}
+}
+
+// Every NDJSON stream line carries the job's trace ID, and that ID
+// resolves to the job root span — the satellite that joins the failure
+// stream to the span chains.
+func TestStreamCarriesTrace(t *testing.T) {
+	tracer := obs.NewTracer(obs.WallClock{})
+	srv, _, _ := newTestServer(t, SchedulerOptions{Tracer: tracer})
+	_, st := postJob(t, srv.URL, smallFuzzSpec())
+
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%s/stream", srv.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []StreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty stream")
+	}
+	trace := events[0].Trace
+	if trace == "" {
+		t.Fatal("stream events carry no trace ID")
+	}
+	for i, ev := range events {
+		if ev.Trace != trace {
+			t.Errorf("event %d trace %q != %q", i, ev.Trace, trace)
+		}
+	}
+	found := false
+	for _, sp := range tracer.Snapshot() {
+		if sp.TraceID() == trace {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stream trace %q not present in the tracer", trace)
+	}
+}
+
+// /healthz reports the build identity alongside readiness.
+func TestHealthzReportsVersion(t *testing.T) {
+	srv, _, _ := newTestServer(t, SchedulerOptions{})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+	var body struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.Version != "test-build" {
+		t.Errorf("healthz body = %+v", body)
+	}
+}
+
+// The pprof handlers are mounted on the same mux.
+func TestPprofWired(t *testing.T) {
+	srv, _, _ := newTestServer(t, SchedulerOptions{})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s returned %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// LRU evictions reach the flight recorder with the evicted key, and
+// drain transitions bracket the recorder feed.
+func TestRecorderCacheEvictAndDrain(t *testing.T) {
+	rec := obs.NewRecorder(32)
+	c, err := NewCache(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRecorder(rec)
+	k1 := strings.Repeat("1", 64)
+	k2 := strings.Repeat("2", 64)
+	if err := c.Put(k1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+	if len(evs) != 1 || evs[0].Type != obs.EvCacheEvict || evs[0].Key != k1 {
+		t.Fatalf("evict events = %+v", evs)
+	}
+
+	s, _ := newTestScheduler(t, SchedulerOptions{Recorder: rec})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+	var sawBegin, sawEnd bool
+	for _, ev := range rec.Events() {
+		switch ev.Type {
+		case obs.EvDrainBegin:
+			sawBegin = true
+		case obs.EvDrainEnd:
+			sawEnd = !sawBegin || true
+		}
+	}
+	if !sawBegin || !sawEnd {
+		t.Errorf("drain transitions not recorded: %+v", rec.Events())
+	}
+}

@@ -9,8 +9,13 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/csi"
 	"repro/internal/obs"
 )
+
+// systemCrossd tags the service's own spans: the scheduler pipeline is
+// a control-plane hop above the per-case harness spans.
+const systemCrossd csi.System = "crossd"
 
 // Admission errors. The HTTP layer maps ErrQueueFull to 429 +
 // Retry-After and ErrDraining to 503.
@@ -31,6 +36,11 @@ type Job struct {
 	ID   string
 	Key  string
 	Spec JobSpec
+
+	// span is the job's root span (nil when tracing is off); trace is
+	// its hex ID, stamped onto every stream event and stage exemplar.
+	span  *obs.Span
+	trace string
 
 	mu       sync.Mutex
 	state    string
@@ -111,6 +121,7 @@ func (j *Job) emit(ev StreamEvent) {
 	j.mu.Lock()
 	ev.Seq = len(j.events)
 	ev.Job = j.ID
+	ev.Trace = j.trace
 	j.events = append(j.events, ev)
 	subs := append([]chan StreamEvent(nil), j.subs...)
 	j.mu.Unlock()
@@ -153,6 +164,13 @@ type SchedulerOptions struct {
 	// Metrics, when non-nil, receives the service-level gauges and
 	// counters (queue depth, in-flight jobs, cache hit ratio, ...).
 	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one root span per job; its ID is
+	// the trace_id carried by stream events and stage-histogram
+	// exemplars. Long-running deployments should SetCap it.
+	Tracer *obs.Tracer
+	// Recorder, when non-nil, is the flight recorder fed with
+	// admission, cache, drain, and oracle events (/debug/events).
+	Recorder *obs.Recorder
 }
 
 // Scheduler owns the job table and the bounded worker pool.
@@ -204,6 +222,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	key, err := spec.CacheKey()
 	if err != nil {
 		s.count(obs.MetricJobsRejected, "reason", "invalid")
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobRejected, Detail: "invalid: " + err.Error()})
 		return nil, err
 	}
 
@@ -211,17 +230,22 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if s.draining {
 		s.mu.Unlock()
 		s.count(obs.MetricJobsRejected, "reason", "draining")
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobRejected, Key: key, Detail: "draining"})
 		return nil, ErrDraining
 	}
 	if live, ok := s.byKey[key]; ok {
 		s.mu.Unlock()
 		s.record(obs.MetricJobsSubmitted, "kind", spec.Kind)
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobCoalesced, Job: live.ID, Key: key, Trace: live.trace})
 		return live, nil
 	}
 	// Cache probe under the admission lock: the lookup is memory/disk
 	// only and keeps two racing submissions of a cold key from both
 	// executing.
-	if data, ok := s.opts.Cache.Get(key); ok {
+	probeStart := time.Now()
+	data, hit := s.opts.Cache.Get(key)
+	probe := time.Since(probeStart)
+	if hit {
 		job := s.newJobLocked(spec, key)
 		job.cacheHit = true
 		job.state = StateDone
@@ -232,6 +256,9 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		s.record(obs.MetricJobsSubmitted, "kind", spec.Kind)
 		s.count(obs.MetricCacheHits)
 		s.updateCacheGauges()
+		s.stage(obs.StageCacheProbe, probe, job.trace)
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvCacheHit, Job: job.ID, Key: key, Trace: job.trace})
+		job.span.Set("cache", "hit").End()
 		job.emit(StreamEvent{Type: StateDone, CacheHit: true, ReportSHA: reportSHA(data)})
 		job.closeSubs()
 		return job, nil
@@ -247,6 +274,8 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		delete(s.byKey, key)
 		s.mu.Unlock()
 		s.count(obs.MetricJobsRejected, "reason", "queue_full")
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobRejected, Key: key, Trace: job.trace, Detail: "queue_full"})
+		job.span.Fail(ErrQueueFull).End()
 		return nil, ErrQueueFull
 	}
 	depth := len(s.queue)
@@ -254,7 +283,10 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	s.record(obs.MetricJobsSubmitted, "kind", spec.Kind)
 	s.count(obs.MetricCacheMisses)
 	s.updateCacheGauges()
+	s.stage(obs.StageCacheProbe, probe, job.trace)
 	s.gauge(obs.MetricQueueDepth, float64(depth))
+	s.opts.Recorder.Record(obs.Event{Type: obs.EvCacheMiss, Job: job.ID, Key: key, Trace: job.trace})
+	s.opts.Recorder.Record(obs.Event{Type: obs.EvJobAdmitted, Job: job.ID, Key: key, Trace: job.trace, Detail: spec.Kind})
 	return job, nil
 }
 
@@ -268,6 +300,9 @@ func (s *Scheduler) newJobLocked(spec JobSpec, key string) *Job {
 		queued: time.Now(),
 		done:   make(chan struct{}),
 	}
+	job.span = s.opts.Tracer.Span(nil, systemCrossd, csi.ControlPlane, "job/"+spec.Kind)
+	job.span.Set("job", job.ID).Set("key", key)
+	job.trace = job.span.TraceID()
 	s.jobs[job.ID] = job
 	return job
 }
@@ -312,10 +347,15 @@ func (s *Scheduler) runJob(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	job.cancel = cancel
+	wait := job.started.Sub(job.queued)
 	job.mu.Unlock()
 	s.gauge(obs.MetricQueueDepth, float64(len(s.queue)))
 	s.addGauge(obs.MetricInflightJobs, 1)
+	s.stage(obs.StageQueueWait, wait, job.trace)
+	s.opts.Recorder.Record(obs.Event{Type: obs.EvJobStarted, Job: job.ID, Key: job.Key, Trace: job.trace})
 
+	runSpan := job.span.Child(systemCrossd, csi.ControlPlane, "run")
+	runStart := time.Now()
 	res, err := s.opts.Executor.Execute(ctx, job.Spec, func(f core.Failure) {
 		ev := StreamEvent{
 			Type:      "failure",
@@ -330,8 +370,11 @@ func (s *Scheduler) runJob(job *Job) {
 				ev.Input = f.Case.Input.Name
 			}
 		}
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvOracleFailure, Job: job.ID, Trace: job.trace, Detail: f.Signature})
 		job.emit(ev)
 	})
+	runSpan.Fail(err).End()
+	s.stage(obs.StageRun, time.Since(runStart), job.trace)
 
 	state := StateDone
 	var final StreamEvent
@@ -344,6 +387,7 @@ func (s *Scheduler) runJob(job *Job) {
 		state = StateFailed
 		final = StreamEvent{Type: StateFailed, Error: err.Error()}
 	default:
+		encStart := time.Now()
 		data, err = marshalResult(res)
 		if err != nil {
 			state = StateFailed
@@ -356,6 +400,7 @@ func (s *Scheduler) runJob(job *Job) {
 				final.Error = cerr.Error() // disk spill failure is non-fatal
 			}
 		}
+		s.stage(obs.StageEncode, time.Since(encStart), job.trace)
 	}
 
 	job.mu.Lock()
@@ -381,8 +426,20 @@ func (s *Scheduler) runJob(job *Job) {
 	s.count(obs.MetricJobsFinished, "state", state)
 	if m := s.opts.Metrics; m != nil {
 		m.Histogram(obs.MetricJobDurationMs, nil, "kind", job.Spec.Kind).
-			Observe(float64(dur) / float64(time.Millisecond))
+			ObserveExemplar(float64(dur)/float64(time.Millisecond), job.trace)
 	}
+	switch state {
+	case StateDone:
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobDone, Job: job.ID, Key: job.Key, Trace: job.trace})
+	case StateFailed:
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobFailed, Job: job.ID, Key: job.Key, Trace: job.trace, Detail: final.Error})
+	case StateCancelled:
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobCancelled, Job: job.ID, Key: job.Key, Trace: job.trace, Detail: final.Error})
+	}
+	if state != StateDone && err != nil {
+		job.span.Fail(err)
+	}
+	job.span.Set("state", state).End()
 }
 
 // Drain stops admission, lets queued and in-flight jobs finish, and
@@ -399,6 +456,7 @@ func (s *Scheduler) Drain(ctx context.Context) {
 	s.draining = true
 	close(s.queue) // safe: all sends hold mu and re-check draining
 	s.mu.Unlock()
+	s.opts.Recorder.Record(obs.Event{Type: obs.EvDrainBegin})
 
 	idle := make(chan struct{})
 	go func() {
@@ -412,6 +470,7 @@ func (s *Scheduler) Drain(ctx context.Context) {
 		<-idle
 	}
 	s.cancelBase()
+	s.opts.Recorder.Record(obs.Event{Type: obs.EvDrainEnd})
 }
 
 // marshalResult produces the canonical result bytes (stable field
@@ -440,6 +499,16 @@ func (s *Scheduler) record(name string, labels ...string) {
 	if s.opts.Metrics != nil {
 		s.opts.Metrics.Counter(name, labels...).Inc()
 	}
+}
+
+// stage records one pipeline-stage latency with the job's trace ID as
+// the bucket exemplar, joining the histogram back to the span chain.
+func (s *Scheduler) stage(stage string, d time.Duration, trace string) {
+	if s.opts.Metrics == nil {
+		return
+	}
+	s.opts.Metrics.Histogram(obs.MetricStageDurationMs, nil, "stage", stage).
+		ObserveExemplar(float64(d)/float64(time.Millisecond), trace)
 }
 
 func (s *Scheduler) gauge(name string, v float64) {

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 
 	"repro/internal/obs"
 )
@@ -22,16 +24,30 @@ import (
 //	GET  /api/v1/jobs/{id}/stream NDJSON: one event per oracle failure
 //	                              as batches complete, then a terminal event
 //	GET  /metrics                 Prometheus text exposition
-//	GET  /healthz                 "ok" (200) or "draining" (503)
+//	GET  /healthz                 JSON status+version (200) or "draining" (503)
+//	GET  /debug/events            flight-recorder replay (?job=ID, ?n=N)
+//	GET  /debug/pprof/...         the standard net/http/pprof handlers
 type Server struct {
-	sched   *Scheduler
-	metrics *obs.Registry
-	mux     *http.ServeMux
+	sched *Scheduler
+	opts  ServerOptions
+	mux   *http.ServeMux
 }
 
-// NewServer wires the API over a scheduler. metrics may be nil.
-func NewServer(sched *Scheduler, metrics *obs.Registry) *Server {
-	s := &Server{sched: sched, metrics: metrics, mux: http.NewServeMux()}
+// ServerOptions configure the observability surface of the API.
+type ServerOptions struct {
+	// Metrics backs /metrics (nil = 404).
+	Metrics *obs.Registry
+	// Recorder backs /debug/events (nil = 404). Point it at the same
+	// recorder the scheduler and cache write to.
+	Recorder *obs.Recorder
+	// Version is the build identity reported by /healthz (for example
+	// buildinfo.Get().String()); empty omits the field.
+	Version string
+}
+
+// NewServer wires the API over a scheduler.
+func NewServer(sched *Scheduler, opts ServerOptions) *Server {
+	s := &Server{sched: sched, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
@@ -39,6 +55,12 @@ func NewServer(sched *Scheduler, metrics *obs.Registry) *Server {
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -175,12 +197,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if s.metrics == nil {
+	if s.opts.Metrics == nil {
 		http.Error(w, "metrics disabled", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WritePrometheus(w)
+	s.opts.Metrics.WritePrometheus(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -191,5 +213,47 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Version string `json:"version,omitempty"`
+	}{Status: "ok", Version: s.opts.Version})
+}
+
+// eventsBody is the /debug/events response: the flight recorder's
+// retained window (oldest first) plus the lifetime event count, so a
+// reader can tell how much history fell off the ring.
+type eventsBody struct {
+	Total  uint64      `json:"total"`
+	Events []obs.Event `json:"events"`
+}
+
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Recorder == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	events := s.opts.Recorder.Events()
+	if job := r.URL.Query().Get("job"); job != "" {
+		filtered := events[:0]
+		for _, ev := range events {
+			if ev.Job == job {
+				filtered = append(filtered, ev)
+			}
+		}
+		events = filtered
+	}
+	if nstr := r.URL.Query().Get("n"); nstr != "" {
+		n, err := strconv.Atoi(nstr)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "n must be a non-negative integer"})
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:] // most recent n, still oldest first
+		}
+	}
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, eventsBody{Total: s.opts.Recorder.Total(), Events: events})
 }

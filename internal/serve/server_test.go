@@ -19,7 +19,11 @@ import (
 func newTestServer(t *testing.T, opts SchedulerOptions) (*httptest.Server, *Scheduler, *Executor) {
 	t.Helper()
 	sched, exec := newTestScheduler(t, opts)
-	srv := httptest.NewServer(NewServer(sched, opts.Metrics))
+	srv := httptest.NewServer(NewServer(sched, ServerOptions{
+		Metrics:  opts.Metrics,
+		Recorder: opts.Recorder,
+		Version:  "test-build",
+	}))
 	t.Cleanup(srv.Close)
 	return srv, sched, exec
 }
