@@ -95,7 +95,7 @@ func run(addr string, workers, queue int, jobTimeout time.Duration, cacheEntries
 		QueueDepth: queue,
 		JobTimeout: jobTimeout,
 		Cache:      cache,
-		Executor:   &serve.Executor{Metrics: metrics, Tracer: tracer},
+		Executor:   &serve.Executor{Metrics: metrics, Tracer: tracer, Recorder: recorder},
 		Metrics:    metrics,
 		Tracer:     tracer,
 		Recorder:   recorder,

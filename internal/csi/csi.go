@@ -79,6 +79,13 @@ const (
 	// systems. It extends the differential oracle along the upgrade
 	// axis the paper identifies as a leading CSI failure trigger (§5).
 	OracleVersionSkew
+	// OraclePartition checks that nodes of a control-plane deployment
+	// converge to one view of shared state (leases, replica sets, app
+	// state machines, ISR membership, region assignment) when the
+	// network between them is cut and held — the CoFI fault model for
+	// the control-plane CSI failures the study finds dominate real
+	// incidents.
+	OraclePartition
 )
 
 // String returns the short oracle name used in the artifact's logs
@@ -93,6 +100,8 @@ func (o Oracle) String() string {
 		return "difft"
 	case OracleVersionSkew:
 		return "skew"
+	case OraclePartition:
+		return "part"
 	default:
 		return fmt.Sprintf("Oracle(%d)", int(o))
 	}

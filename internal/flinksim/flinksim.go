@@ -65,6 +65,14 @@ func (m ClientMode) String() string {
 	}
 }
 
+// RMGateway abstracts the client->RM request channel so a fault plane
+// can interpose on it (drop requests, delay or drop allocation
+// callbacks). *yarnsim.ResourceManager satisfies it directly.
+type RMGateway interface {
+	RequestContainers(n int, ask yarnsim.Resource,
+		onAllocated func(*yarnsim.Container), onError func(error))
+}
+
 // ResourceClientOptions configure a YarnResourceClient.
 type ResourceClientOptions struct {
 	Mode ClientMode
@@ -75,12 +83,16 @@ type ResourceClientOptions struct {
 	HeartbeatMs int64
 	// Ask is the per-container resource request.
 	Ask yarnsim.Resource
+	// Gateway, when non-nil, carries container requests instead of the
+	// direct RM call — the seam the partition fault plane cuts.
+	Gateway RMGateway
 }
 
 // YarnResourceClient is Flink's container-requesting client.
 type YarnResourceClient struct {
 	sim  *vclock.Sim
 	rm   *yarnsim.ResourceManager
+	gw   RMGateway
 	opts ResourceClientOptions
 
 	allocated  int
@@ -112,7 +124,11 @@ func NewYarnResourceClient(sim *vclock.Sim, rm *yarnsim.ResourceManager, opts Re
 	if opts.Ask.MemoryMB == 0 {
 		opts.Ask = yarnsim.Resource{MemoryMB: 1024, Vcores: 1}
 	}
-	return &YarnResourceClient{sim: sim, rm: rm, opts: opts, doneAtMs: -1}
+	gw := opts.Gateway
+	if gw == nil {
+		gw = rm
+	}
+	return &YarnResourceClient{sim: sim, rm: rm, gw: gw, opts: opts, doneAtMs: -1}
 }
 
 // Start submits the initial request and, in the polling modes, arms the
@@ -167,7 +183,7 @@ func (c *YarnResourceClient) request(n int) {
 	}
 	c.totalAsked += n
 	c.submitted += n
-	c.rm.RequestContainers(n, c.opts.Ask,
+	c.gw.RequestContainers(n, c.opts.Ask,
 		func(container *yarnsim.Container) {
 			c.submitted--
 			if c.allocated >= c.opts.Target {
@@ -190,6 +206,10 @@ func (c *YarnResourceClient) request(n int) {
 
 // Allocated returns the number of containers the job holds.
 func (c *YarnResourceClient) Allocated() int { return c.allocated }
+
+// Pending returns the asks submitted and not yet answered — the
+// "pending book" whose staleness drives the re-request storm.
+func (c *YarnResourceClient) Pending() int { return c.submitted }
 
 // TotalRequested returns the total container asks submitted — the
 // Figure 1 metric that explodes to thousands under the buggy mode.

@@ -43,6 +43,7 @@ type RegionServer struct {
 	crashed error
 
 	memstore map[string]map[string]string // table -> key -> value
+	regions  map[string]bool              // regions this server holds open
 	walSeq   int
 }
 

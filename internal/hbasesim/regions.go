@@ -1,0 +1,67 @@
+package hbasesim
+
+// Region assignment: which regions a server believes it is serving.
+// Assignment is the master/regionserver shared state behind HBase's
+// double-assignment class of partition failures (HBASE-6060 and kin):
+// a move is "close on the old server, open on the new one", and if the
+// close is partitioned away while the open lands, two servers serve the
+// same region and accept divergent writes.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ErrRegionNotServing reports an operation against a region this
+// server does not currently hold open.
+var ErrRegionNotServing = fmt.Errorf("hbase: region is not served by this server")
+
+// OpenRegion marks the region as served by this server.
+func (rs *RegionServer) OpenRegion(region string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.regions == nil {
+		rs.regions = make(map[string]bool)
+	}
+	rs.regions[region] = true
+}
+
+// CloseRegion marks the region as no longer served.
+func (rs *RegionServer) CloseRegion(region string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	delete(rs.regions, region)
+}
+
+// ServesRegion reports whether the region is open on this server.
+func (rs *RegionServer) ServesRegion(region string) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.regions[region]
+}
+
+// Regions returns the regions open on this server, sorted.
+func (rs *RegionServer) Regions() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]string, 0, len(rs.regions))
+	for r := range rs.regions {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PutRegion is Put scoped to a region: it rejects writes to regions
+// this server does not hold open — the check that *should* fence a
+// client routed by stale assignment metadata, and that double
+// assignment defeats.
+func (rs *RegionServer) PutRegion(region, table, key, value string) error {
+	rs.mu.Lock()
+	serving := rs.regions[region]
+	rs.mu.Unlock()
+	if !serving {
+		return fmt.Errorf("%w: %s", ErrRegionNotServing, region)
+	}
+	return rs.Put(table, key, value)
+}

@@ -79,6 +79,10 @@ type FileSystem struct {
 	statCalls  int64
 	writeCalls int64
 	readCalls  int64
+
+	leases     map[string]*leaseState
+	leaseTTLMs int64
+	replicas   map[string][]string
 }
 
 // DefaultTokenTTLMs is the default delegation-token lifetime.

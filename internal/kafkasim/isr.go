@@ -1,0 +1,138 @@
+package kafkasim
+
+// Per-partition replication metadata: leader, in-sync replica set, and
+// high watermark. A Broker instance is one broker *node's* local view;
+// the partition fault plane runs one Broker per simulated node and
+// compares their metadata, because the classic Kafka partition failures
+// (KAFKA-3410 and kin) are exactly a controller electing a new leader
+// from a *stale* ISR while the old leader has already shrunk it and
+// advanced the high watermark alone.
+
+import (
+	"fmt"
+	"sort"
+)
+
+type replState struct {
+	leader string
+	isr    []string
+	hwm    int64
+}
+
+func (b *Broker) repl(topic string, part int) (*replState, error) {
+	if _, err := b.partition(topic, part); err != nil {
+		return nil, err
+	}
+	if b.replMeta == nil {
+		b.replMeta = make(map[string]*replState)
+	}
+	key := fmt.Sprintf("%s/%d", topic, part)
+	rs, ok := b.replMeta[key]
+	if !ok {
+		rs = &replState{}
+		b.replMeta[key] = rs
+	}
+	return rs, nil
+}
+
+// SetLeader records this broker's view of the partition leader.
+func (b *Broker) SetLeader(topic string, part int, leader string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rs, err := b.repl(topic, part)
+	if err != nil {
+		return err
+	}
+	rs.leader = leader
+	return nil
+}
+
+// Leader returns this broker's view of the partition leader.
+func (b *Broker) Leader(topic string, part int) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rs, err := b.repl(topic, part)
+	if err != nil {
+		return "", err
+	}
+	return rs.leader, nil
+}
+
+// SetISR records this broker's view of the in-sync replica set.
+func (b *Broker) SetISR(topic string, part int, members ...string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rs, err := b.repl(topic, part)
+	if err != nil {
+		return err
+	}
+	rs.isr = append([]string(nil), members...)
+	sort.Strings(rs.isr)
+	return nil
+}
+
+// ISR returns this broker's view of the in-sync replica set, sorted.
+func (b *Broker) ISR(topic string, part int) ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rs, err := b.repl(topic, part)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), rs.isr...), nil
+}
+
+// SetHighWatermark records the last offset this broker considers
+// committed (exclusive: the next offset after the committed prefix).
+func (b *Broker) SetHighWatermark(topic string, part int, hwm int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rs, err := b.repl(topic, part)
+	if err != nil {
+		return err
+	}
+	rs.hwm = hwm
+	return nil
+}
+
+// HighWatermark returns this broker's committed-prefix end offset.
+func (b *Broker) HighWatermark(topic string, part int) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rs, err := b.repl(topic, part)
+	if err != nil {
+		return 0, err
+	}
+	return rs.hwm, nil
+}
+
+// TruncateTo discards every record at or beyond offset and rewinds the
+// next offset — what a replica does when it rejoins behind a new
+// leader, and the operation that makes acknowledged records vanish
+// after an unclean election from a stale ISR. It returns the number of
+// live records discarded.
+func (b *Broker) TruncateTo(topic string, part int, offset int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, err := b.partition(topic, part)
+	if err != nil {
+		return 0, err
+	}
+	if offset < 0 || offset > p.nextOffset {
+		return 0, fmt.Errorf("%w: truncate to %d not in [0, %d]", ErrOffsetOutOfRange, offset, p.nextOffset)
+	}
+	removed := 0
+	kept := p.entries[:0]
+	for _, e := range p.entries {
+		if e.offset < offset {
+			kept = append(kept, e)
+			continue
+		}
+		if !e.deleted {
+			removed++
+		}
+	}
+	p.entries = kept
+	p.nextOffset = offset
+	return removed, nil
+}

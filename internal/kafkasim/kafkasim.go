@@ -52,10 +52,12 @@ var ErrOffsetOutOfRange = fmt.Errorf("kafka: offset out of range")
 // has no route to the cluster (the FLINK-4155 model).
 var ErrNotConnected = fmt.Errorf("kafka: partition discovery requires a connected cluster context")
 
-// Broker is the simulated cluster.
+// Broker is the simulated cluster (or, for the partition fault plane,
+// one broker node's local log and metadata — see isr.go).
 type Broker struct {
 	mu       sync.Mutex
 	topics   map[string][]*partition
+	replMeta map[string]*replState // "topic/part" -> replication metadata
 	tracer   *obs.Tracer
 	traceTop *obs.Span
 }

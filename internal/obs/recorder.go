@@ -27,6 +27,12 @@ const (
 	EvDrainEnd   = "drain_end"
 	// One oracle firing during a job run; Detail carries the signature.
 	EvOracleFailure = "oracle_failure"
+	// Partition fault-plane activity: a fabric link cut or heal (Detail
+	// carries the link event) and an invariant violation a scenario's
+	// ground-truth check reported (Detail carries the signature).
+	EvPartitionCut      = "partition_cut"
+	EvPartitionHeal     = "partition_heal"
+	EvInvariantViolated = "invariant_violated"
 )
 
 // Event is one structured flight-recorder entry. Seq and TimeNs are

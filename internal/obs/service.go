@@ -34,6 +34,12 @@ const (
 	// a latency bucket to the causal span chain of the job that landed
 	// in it.
 	MetricStageDurationMs = "crossd_stage_duration_ms"
+	// MetricPartitionFindings counts invariant violations found by
+	// partition campaigns, labelled by scenario and strategy.
+	MetricPartitionFindings = "partition_findings_total"
+	// MetricPartitionCuts counts fabric link cuts applied by partition
+	// campaigns, labelled by scenario.
+	MetricPartitionCuts = "partition_cuts_total"
 )
 
 // The stages of the crossd job pipeline, in order: admission queue

@@ -1,0 +1,165 @@
+// Package partition is the control-plane fault plane of the
+// reproduction: a per-link network-connectivity model over the virtual
+// clock (cut/heal at chosen vclock points, symmetric and asymmetric
+// partitions), an invariant layer that snapshots each simulated node's
+// view of shared control-plane state (HDFS replica sets and leases,
+// YARN application/container state machines, Kafka ISR membership and
+// offsets, HBase region assignment, Flink's pending-request book) and
+// detects inconsistent views, and a consistency-guided injector that —
+// CoFI's key idea (SNIPPETS.md Snippet 2) — triggers the cut exactly
+// when two nodes disagree about that state and then *holds* it, so the
+// periodic reconciliation traffic that would otherwise repair the
+// disagreement cannot mask the bug.
+//
+// Everything is deterministic: scenarios run on vclock.Sim, random
+// schedules derive from a splitmix64 seed, and campaign reports are
+// bit-identical across -parallel settings, so every P* finding replays
+// exactly.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// Link is one directed connectivity edge between two named nodes.
+type Link struct {
+	From, To string
+}
+
+// String formats the directed link.
+func (l Link) String() string { return l.From + "->" + l.To }
+
+// LinkEvent is one entry of the fabric's cut/heal history.
+type LinkEvent struct {
+	AtMs   int64
+	Cut    bool // true = cut, false = heal
+	A, B   string
+	OneWay bool // A->B only; symmetric otherwise
+}
+
+// String formats the event for reports and recorder details.
+func (e LinkEvent) String() string {
+	op := "heal"
+	if e.Cut {
+		op = "cut"
+	}
+	arrow := "<->"
+	if e.OneWay {
+		arrow = "->"
+	}
+	return fmt.Sprintf("%s {%s%s%s} at %d ms", op, e.A, arrow, e.B, e.AtMs)
+}
+
+// Fabric models the network between a scenario's nodes: every directed
+// link is up unless explicitly cut. It is not safe for concurrent use —
+// like the simulators it connects, it lives on one vclock scheduler.
+type Fabric struct {
+	sim   *vclock.Sim
+	nodes []string
+	known map[string]bool
+	down  map[Link]bool
+	hist  []LinkEvent
+
+	// OnChange, when set, observes every cut/heal (the obs hook).
+	OnChange func(LinkEvent)
+}
+
+// NewFabric builds a fully-connected fabric over the named nodes.
+func NewFabric(sim *vclock.Sim, nodes ...string) *Fabric {
+	f := &Fabric{
+		sim:   sim,
+		nodes: append([]string(nil), nodes...),
+		known: make(map[string]bool, len(nodes)),
+		down:  make(map[Link]bool),
+	}
+	sort.Strings(f.nodes)
+	for _, n := range f.nodes {
+		f.known[n] = true
+	}
+	return f
+}
+
+// Nodes returns the fabric's node names, sorted.
+func (f *Fabric) Nodes() []string { return append([]string(nil), f.nodes...) }
+
+// HasNode reports whether the fabric knows the node.
+func (f *Fabric) HasNode(name string) bool { return f.known[name] }
+
+func (f *Fabric) check(name string) {
+	if !f.known[name] {
+		panic(fmt.Sprintf("partition: unknown node %q (fabric has %v)", name, f.nodes))
+	}
+}
+
+func (f *Fabric) record(ev LinkEvent) {
+	ev.AtMs = f.sim.Now()
+	f.hist = append(f.hist, ev)
+	if f.OnChange != nil {
+		f.OnChange(ev)
+	}
+}
+
+// Cut severs both directions between a and b.
+func (f *Fabric) Cut(a, b string) {
+	f.check(a)
+	f.check(b)
+	f.down[Link{a, b}] = true
+	f.down[Link{b, a}] = true
+	f.record(LinkEvent{Cut: true, A: a, B: b})
+}
+
+// CutOneWay severs only the from->to direction — the asymmetric
+// partition where requests still flow one way but responses are lost.
+func (f *Fabric) CutOneWay(from, to string) {
+	f.check(from)
+	f.check(to)
+	f.down[Link{from, to}] = true
+	f.record(LinkEvent{Cut: true, A: from, B: to, OneWay: true})
+}
+
+// Heal restores both directions between a and b.
+func (f *Fabric) Heal(a, b string) {
+	f.check(a)
+	f.check(b)
+	delete(f.down, Link{a, b})
+	delete(f.down, Link{b, a})
+	f.record(LinkEvent{Cut: false, A: a, B: b})
+}
+
+// HealAll restores every link.
+func (f *Fabric) HealAll() {
+	for l := range f.down {
+		delete(f.down, l)
+	}
+	f.record(LinkEvent{Cut: false, A: "*", B: "*"})
+}
+
+// Connected reports whether from can currently reach to. A node always
+// reaches itself.
+func (f *Fabric) Connected(from, to string) bool {
+	f.check(from)
+	f.check(to)
+	if from == to {
+		return true
+	}
+	return !f.down[Link{from, to}]
+}
+
+// History returns the cut/heal events so far, in virtual-time order.
+func (f *Fabric) History() []LinkEvent { return append([]LinkEvent(nil), f.hist...) }
+
+// UndirectedLinks enumerates the fabric's node pairs in canonical
+// (sorted) order — the deterministic link universe random schedules
+// draw from.
+func (f *Fabric) UndirectedLinks() [][2]string {
+	var out [][2]string
+	for i := 0; i < len(f.nodes); i++ {
+		for j := i + 1; j < len(f.nodes); j++ {
+			out = append(out, [2]string{f.nodes[i], f.nodes[j]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestFabricConnectivity(t *testing.T) {
+	sim := vclock.New()
+	fab := NewFabric(sim, "b", "a", "c")
+	if got := fab.Nodes(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Nodes() = %v, want sorted a b c", got)
+	}
+	if !fab.Connected("a", "a") {
+		t.Error("a node must always reach itself")
+	}
+	if !fab.Connected("a", "b") || !fab.Connected("b", "a") {
+		t.Error("fresh fabric must be fully connected")
+	}
+
+	fab.Cut("a", "b")
+	if fab.Connected("a", "b") || fab.Connected("b", "a") {
+		t.Error("symmetric cut must sever both directions")
+	}
+	if !fab.Connected("a", "c") {
+		t.Error("cut a-b must not affect a-c")
+	}
+	fab.Heal("a", "b")
+	if !fab.Connected("a", "b") || !fab.Connected("b", "a") {
+		t.Error("heal must restore both directions")
+	}
+}
+
+func TestFabricOneWayCut(t *testing.T) {
+	fab := NewFabric(vclock.New(), "a", "b")
+	fab.CutOneWay("a", "b")
+	if fab.Connected("a", "b") {
+		t.Error("a->b must be down after CutOneWay(a, b)")
+	}
+	if !fab.Connected("b", "a") {
+		t.Error("b->a must stay up after CutOneWay(a, b)")
+	}
+	fab.HealAll()
+	if !fab.Connected("a", "b") {
+		t.Error("HealAll must restore one-way cuts")
+	}
+}
+
+func TestFabricHistoryAndHooks(t *testing.T) {
+	sim := vclock.New()
+	fab := NewFabric(sim, "a", "b")
+	var hooked []string
+	fab.OnChange = func(ev LinkEvent) { hooked = append(hooked, ev.String()) }
+	sim.After(100, func() { fab.Cut("a", "b") })
+	sim.After(300, func() { fab.Heal("a", "b") })
+	sim.Run(1000)
+
+	want := []string{"cut {a<->b} at 100 ms", "heal {a<->b} at 300 ms"}
+	var got []string
+	for _, ev := range fab.History() {
+		got = append(got, ev.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("History() = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(hooked, want) {
+		t.Errorf("OnChange saw %v, want %v", hooked, want)
+	}
+}
+
+func TestFabricUnknownNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cut with an unknown node must panic: scenarios wire only known nodes")
+		}
+	}()
+	NewFabric(vclock.New(), "a", "b").Cut("a", "zz")
+}
+
+func TestUndirectedLinksEnumeration(t *testing.T) {
+	fab := NewFabric(vclock.New(), "c", "a", "b")
+	got := fab.UndirectedLinks()
+	want := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UndirectedLinks() = %v, want %v", got, want)
+	}
+}

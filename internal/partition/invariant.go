@@ -1,0 +1,90 @@
+package partition
+
+// The invariant layer: each node exposes a View — its local belief
+// about shared control-plane state, as key/value declarations — and the
+// monitor compares views after every simulator event. A key two nodes
+// declare with different values is an inconsistency: exactly the
+// condition CoFI injects partitions under, because the reconciliation
+// message that would repair it is in flight and cuttable.
+
+import "sort"
+
+// View is one node's declared view of shared state. A node declares
+// only keys it holds a belief about; keys absent from a view are not
+// compared (a DataNode that never saw a lease has no opinion on it).
+type View map[string]string
+
+// Inconsistency is one observed disagreement: a key declared by at
+// least two nodes with differing values.
+type Inconsistency struct {
+	AtMs   int64
+	Key    string
+	Values map[string]string // node -> declared value
+	Nodes  []string          // declaring nodes, sorted
+}
+
+// DisagreeingPairs returns the node pairs holding different values for
+// the key, in canonical sorted order — the links the default guided
+// isolation cuts.
+func (inc Inconsistency) DisagreeingPairs() [][2]string {
+	var out [][2]string
+	for i := 0; i < len(inc.Nodes); i++ {
+		for j := i + 1; j < len(inc.Nodes); j++ {
+			if inc.Values[inc.Nodes[i]] != inc.Values[inc.Nodes[j]] {
+				out = append(out, [2]string{inc.Nodes[i], inc.Nodes[j]})
+			}
+		}
+	}
+	return out
+}
+
+// FindInconsistency scans the node views and returns the first
+// disagreement in canonical order (lexicographically smallest key), or
+// nil when every shared key agrees. Determinism note: iteration is over
+// sorted keys and sorted nodes, never map order.
+func FindInconsistency(atMs int64, views map[string]View) *Inconsistency {
+	nodes := make([]string, 0, len(views))
+	for n := range views {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	keySet := make(map[string]bool)
+	for _, n := range nodes {
+		for k := range views[n] {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		var declaring []string
+		values := make(map[string]string)
+		distinct := map[string]bool{}
+		for _, n := range nodes {
+			if v, ok := views[n][k]; ok {
+				declaring = append(declaring, n)
+				values[n] = v
+				distinct[v] = true
+			}
+		}
+		if len(declaring) >= 2 && len(distinct) >= 2 {
+			return &Inconsistency{AtMs: atMs, Key: k, Values: values, Nodes: declaring}
+		}
+	}
+	return nil
+}
+
+// Violation is one invariant violation a scenario reported: shared
+// state that diverged in a way recovery never repaired (stale metadata
+// served, a write accepted under a lost lease, acknowledged records
+// vanishing, both sides of a region move serving).
+type Violation struct {
+	AtMs      int64
+	Signature string
+	Detail    string
+}

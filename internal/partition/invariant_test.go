@@ -1,0 +1,69 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFindInconsistency(t *testing.T) {
+	cases := []struct {
+		name  string
+		views map[string]View
+		want  *Inconsistency // nil = consistent
+	}{
+		{
+			name:  "all views agree",
+			views: map[string]View{"a": {"k": "v"}, "b": {"k": "v"}},
+		},
+		{
+			name:  "single declarer is not a disagreement",
+			views: map[string]View{"a": {"k": "v"}, "b": {}},
+		},
+		{
+			name:  "no opinion differs from a wrong opinion",
+			views: map[string]View{"a": {"k": "v"}, "b": {"other": "x"}},
+		},
+		{
+			name:  "two declarers disagree",
+			views: map[string]View{"a": {"k": "v1"}, "b": {"k": "v2"}, "c": {}},
+			want: &Inconsistency{
+				AtMs: 7, Key: "k",
+				Values: map[string]string{"a": "v1", "b": "v2"},
+				Nodes:  []string{"a", "b"},
+			},
+		},
+		{
+			name: "smallest key wins when several disagree",
+			views: map[string]View{
+				"a": {"zz": "1", "aa": "1"},
+				"b": {"zz": "2", "aa": "2"},
+			},
+			want: &Inconsistency{
+				AtMs: 7, Key: "aa",
+				Values: map[string]string{"a": "1", "b": "2"},
+				Nodes:  []string{"a", "b"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := FindInconsistency(7, tc.views)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("FindInconsistency = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDisagreeingPairs(t *testing.T) {
+	inc := Inconsistency{
+		Key:    "k",
+		Values: map[string]string{"a": "1", "b": "2", "c": "1"},
+		Nodes:  []string{"a", "b", "c"},
+	}
+	// a-c agree; only pairs spanning the two camps disagree.
+	want := [][2]string{{"a", "b"}, {"b", "c"}}
+	if got := inc.DisagreeingPairs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("DisagreeingPairs = %v, want %v", got, want)
+	}
+}

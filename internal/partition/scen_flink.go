@@ -1,0 +1,101 @@
+package partition
+
+// P7 (FLINK-10848): the JobManager's pending-request book assumes every
+// request is answered. Under an *asymmetric* partition — requests reach
+// the RM, allocation notifications never come back — the ModeBuggy
+// client re-requests its whole stale book every heartbeat, and the RM
+// grants container after container to a job that never hears about any
+// of them. This is the one scenario whose guided isolation overrides
+// the default symmetric cut: the inconsistency (RM's live-container
+// count vs the JobManager's allocated count) is only held open by
+// cutting the rm->jm direction alone.
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/csi"
+	"repro/internal/flinksim"
+	"repro/internal/vclock"
+	"repro/internal/yarnsim"
+)
+
+// gatedGateway carries JobManager->RM traffic over the fabric: a
+// request is lost when jm cannot reach rm at send time, and an
+// allocation (or error) notification is lost when rm cannot reach jm at
+// delivery time. Lost messages leave the pending book untouched —
+// exactly the staleness FLINK-10848's heartbeat storm feeds on.
+type gatedGateway struct {
+	sim           *vclock.Sim
+	fab           *Fabric
+	rm            *yarnsim.ResourceManager
+	notifyDelayMs int64
+}
+
+func (g *gatedGateway) RequestContainers(n int, ask yarnsim.Resource, onAllocated func(*yarnsim.Container), onError func(error)) {
+	if !g.fab.Connected("jm", "rm") {
+		return // request lost on the wire; the book keeps the entries
+	}
+	g.rm.RequestContainers(n, ask,
+		func(c *yarnsim.Container) {
+			g.sim.After(g.notifyDelayMs, func() {
+				if g.fab.Connected("rm", "jm") {
+					onAllocated(c)
+				}
+				// else: the RM granted a container the job never hears of
+			})
+		},
+		func(err error) {
+			g.sim.After(g.notifyDelayMs, func() {
+				if g.fab.Connected("rm", "jm") {
+					onError(err)
+				}
+			})
+		})
+}
+
+func scenarioFlinkPendingBook() *Scenario {
+	const target = 5
+	return &Scenario{
+		ID:        "P7",
+		Name:      "flink-pending-book",
+		System:    csi.Flink,
+		Anchor:    "FLINK-10848",
+		Signature: "partition-over-allocation",
+		Nodes:     []string{"rm", "jm"},
+		HorizonMs: 6000,
+		ArmAtMs:   500,
+		WindowKey: "containers:flink-job",
+		Isolate: func(fab *Fabric, inc Inconsistency) {
+			fab.CutOneWay("rm", "jm")
+		},
+		Build: func(sim *vclock.Sim, fab *Fabric) *Instance {
+			in := NewInstance(sim)
+			rmgr := yarnsim.New(sim, yarnsim.Options{AllocLatencyMs: 150})
+			gw := &gatedGateway{sim: sim, fab: fab, rm: rmgr, notifyDelayMs: 250}
+			client := flinksim.NewYarnResourceClient(sim, rmgr, flinksim.ResourceClientOptions{
+				Mode:        flinksim.ModeBuggy,
+				Target:      target,
+				HeartbeatMs: 500,
+				Gateway:     gw,
+			})
+			sim.After(2000, client.Start)
+
+			in.FinalCheck = func() {
+				granted := rmgr.Stats().ContainersGranted
+				if client.Allocated() < target && granted >= int64(4*target) {
+					in.Report("partition-over-allocation", fmt.Sprintf(
+						"the RM granted %d containers against a target of %d while the JobManager received %d allocation notifications: every heartbeat re-requested the stale pending book across an asymmetric partition (FLINK-10848)",
+						granted, target, client.Allocated()))
+				}
+			}
+			in.ViewsFn = func() map[string]View {
+				return map[string]View{
+					"rm": {"containers:flink-job": strconv.Itoa(rmgr.Stats().LiveContainers)},
+					"jm": {"containers:flink-job": strconv.Itoa(client.Allocated())},
+				}
+			}
+			return in
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package partition
+
+// P6 (HBASE-6060): a region move is "open on the destination, close on
+// the source", driven by the master. Partition the close away while the
+// open lands and both region servers hold the region; clients routed by
+// stale location caches write to one, clients routed by the master
+// write to the other, and the row diverges — the double-assignment
+// class the region-serving check exists to prevent.
+
+import (
+	"fmt"
+
+	"repro/internal/csi"
+	"repro/internal/hbasesim"
+	"repro/internal/hdfssim"
+	"repro/internal/vclock"
+)
+
+func scenarioHBaseRegionAssign() *Scenario {
+	const region = "r1"
+	return &Scenario{
+		ID:        "P6",
+		Name:      "hbase-region-assign",
+		System:    csi.HBase,
+		Anchor:    "HBASE-6060",
+		Signature: "partition-double-assign",
+		Nodes:     []string{"master", "rs1", "rs2"},
+		HorizonMs: 6000,
+		ArmAtMs:   1000,
+		WindowKey: "region:" + region,
+		Build: func(sim *vclock.Sim, fab *Fabric) *Instance {
+			in := NewInstance(sim)
+			// Each server gets its own filesystem: HDFS files are
+			// immutable and the simulated servers name WALs identically,
+			// which models each server owning its own WAL directory.
+			servers := map[string]*hbasesim.RegionServer{
+				"rs1": hbasesim.New(sim, hdfssim.New(sim)),
+				"rs2": hbasesim.New(sim, hdfssim.New(sim)),
+			}
+			servers["rs1"].Start(hbasesim.StartupAssumeReady, 0)
+			servers["rs2"].Start(hbasesim.StartupAssumeReady, 0)
+			servers["rs1"].OpenRegion(region)
+			masterMap := "rs1"
+			acceptedOn := map[string]bool{}
+
+			// The master moves r1 from rs1 to rs2 at 2200 ms: assignment
+			// record first, then the open RPC to rs2, then the close RPC
+			// to rs1 — each retried every 300 ms while its server is
+			// unreachable. The gap between open landing and close landing
+			// is the natural double-serve window.
+			sim.After(2200, func() {
+				masterMap = "rs2"
+				var openRPC func()
+				openRPC = func() {
+					if !fab.Connected("master", "rs2") {
+						sim.After(300, openRPC)
+						return
+					}
+					servers["rs2"].OpenRegion(region)
+				}
+				sim.After(50, openRPC)
+				var closeRPC func()
+				closeRPC = func() {
+					if !fab.Connected("master", "rs1") {
+						sim.After(300, closeRPC)
+						return
+					}
+					servers["rs1"].CloseRegion(region)
+				}
+				sim.After(200, closeRPC)
+			})
+
+			// A write lands on whichever server the client's location
+			// cache names; a not-serving rejection sends the client back
+			// to the master for the current assignment.
+			write := func(server, value string) {
+				if err := servers[server].PutRegion(region, "t", "row", value); err == nil {
+					acceptedOn[server] = true
+					return
+				}
+				if server != masterMap {
+					if err := servers[masterMap].PutRegion(region, "t", "row", value); err == nil {
+						acceptedOn[masterMap] = true
+					}
+				}
+			}
+			// Client A's cache still points at rs1; client B routes via
+			// the master.
+			sim.After(2950, func() { write("rs1", "A") })
+			sim.After(3100, func() { write(masterMap, "B") })
+
+			in.FinalCheck = func() {
+				if acceptedOn["rs1"] && acceptedOn["rs2"] {
+					v1, _, _ := servers["rs1"].Get("t", "row")
+					v2, _, _ := servers["rs2"].Get("t", "row")
+					in.Report("partition-double-assign", fmt.Sprintf(
+						"region %s was served by rs1 and rs2 at once — the close RPC of a move never reached rs1 — and both accepted writes for the same row (rs1=%q, rs2=%q; HBASE-6060 double assignment)",
+						region, v1, v2))
+				}
+			}
+			in.ViewsFn = func() map[string]View {
+				views := map[string]View{
+					"master": {"region:" + region: masterMap},
+					"rs1":    {},
+					"rs2":    {},
+				}
+				for _, name := range []string{"rs1", "rs2"} {
+					if servers[name].ServesRegion(region) {
+						views[name]["region:"+region] = name
+					}
+				}
+				return views
+			}
+			return in
+		},
+	}
+}

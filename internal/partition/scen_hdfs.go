@@ -1,0 +1,255 @@
+package partition
+
+// The two HDFS scenarios, anchored to CoFI's NameNode findings:
+//
+//   P1 (HDFS-15367): a DataNode's block report is the only thing that
+//   keeps the NameNode's replica locations honest. Cut it away while
+//   the views disagree and the NameNode serves locations no DataNode
+//   backs.
+//
+//   P2 (HDFS-15235): a lease that expires during a client GC pause is
+//   reassigned by the NameNode; if neither the old holder nor the
+//   DataNode pipeline hears about it, the old holder's stale-generation
+//   writes are accepted and the new holder's legitimate ones rejected.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/csi"
+	"repro/internal/hdfssim"
+	"repro/internal/vclock"
+)
+
+func scenarioHDFSReplica() *Scenario {
+	const path = "/data/part-0"
+	return &Scenario{
+		ID:        "P1",
+		Name:      "hdfs-replica",
+		System:    csi.HDFS,
+		Anchor:    "HDFS-15367",
+		Signature: "partition-stale-replica",
+		Nodes:     []string{"nn", "dn1", "dn2", "client"},
+		HorizonMs: 6000,
+		ArmAtMs:   100,
+		WindowKey: "replica@dn1:" + path,
+		Build: func(sim *vclock.Sim, fab *Fabric) *Instance {
+			in := NewInstance(sim)
+			fs := hdfssim.New(sim)
+			_ = fs.Write(path, []byte("block"), hdfssim.WriteOptions{})
+			fs.SetReplicas(path, "dn1", "dn2")
+			holds := map[string]bool{"dn1": true, "dn2": true}
+
+			// dn1 loses its replica to a disk fault at 2020 ms — between
+			// block-report ticks, so the NameNode's view stays stale until
+			// the next report at 2250 ms.
+			sim.After(2020, func() { holds["dn1"] = false })
+
+			// Block reports: each DataNode tells the NameNode what it
+			// actually holds; the NameNode repairs its location list and
+			// re-replicates from the surviving copy after 100 ms.
+			report := func(dn string) {
+				if !fab.Connected(dn, "nn") {
+					return
+				}
+				listed := false
+				for _, n := range fs.Replicas(path) {
+					if n == dn {
+						listed = true
+					}
+				}
+				switch {
+				case holds[dn] && !listed:
+					fs.AddReplica(path, dn)
+				case !holds[dn] && listed:
+					fs.RemoveReplica(path, dn)
+					sim.After(100, func() {
+						if holds["dn2"] && fab.Connected("nn", dn) && fab.Connected(dn, "dn2") {
+							holds[dn] = true
+							fs.AddReplica(path, dn)
+						}
+					})
+				}
+			}
+			sim.Every(250, func() { report("dn1") })
+			sim.Every(250, func() { report("dn2") })
+
+			// The client opens the file at 4200 ms and reads from the
+			// first listed location it can reach. A reachable location
+			// that does not hold the block is the HDFS-15367 violation:
+			// NameNode metadata pointing at a replica that is not there.
+			sim.After(4200, func() {
+				if !fab.Connected("client", "nn") {
+					return // cannot even fetch locations; not a metadata bug
+				}
+				for _, loc := range fs.Replicas(path) {
+					if !fab.Connected("client", loc) {
+						continue
+					}
+					if holds[loc] {
+						return // served
+					}
+					in.Report("partition-stale-replica", fmt.Sprintf(
+						"client read of %s failed: NameNode metadata lists replica on %s but the DataNode does not hold the block (locations %s)",
+						path, loc, strings.Join(fs.Replicas(path), ",")))
+					return
+				}
+			})
+
+			in.ViewsFn = func() map[string]View {
+				nn := View{}
+				for _, n := range fs.Replicas(path) {
+					nn["replica@"+n+":"+path] = "held"
+				}
+				dnView := func(dn string) View {
+					v := View{}
+					if holds[dn] {
+						v["replica@"+dn+":"+path] = "held"
+					} else {
+						v["replica@"+dn+":"+path] = "gone"
+					}
+					return v
+				}
+				return map[string]View{
+					"nn": nn, "dn1": dnView("dn1"), "dn2": dnView("dn2"), "client": {},
+				}
+			}
+			return in
+		},
+	}
+}
+
+func scenarioHDFSLease() *Scenario {
+	const path = "/data/output"
+	const key = "lease:" + path
+	return &Scenario{
+		ID:        "P2",
+		Name:      "hdfs-lease",
+		System:    csi.HDFS,
+		Anchor:    "HDFS-15235",
+		Signature: "partition-lease-split-brain",
+		Nodes:     []string{"nn", "c1", "c2", "dn"},
+		HorizonMs: 6000,
+		ArmAtMs:   1500,
+		WindowKey: key,
+		Build: func(sim *vclock.Sim, fab *Fabric) *Instance {
+			in := NewInstance(sim)
+			fs := hdfssim.New(sim)
+			fs.SetLeaseTTL(1000)
+
+			// Per-node beliefs about the lease, as "holder:gen".
+			belief := map[string]string{} // c1/c2's own belief
+			dnCache := ""                 // DataNode's cached pipeline lease
+			dnSynced := false
+			paused := false // c1's GC pause
+
+			// The GC pause: c1 stops renewing in [2000, 2800).
+			sim.After(2000, func() { paused = true })
+			sim.After(2800, func() { paused = false })
+
+			// c1 acquires the write lease at 500 ms and renews every
+			// 300 ms — until the GC pause lets it lapse at 2700 ms.
+			sim.After(500, func() {
+				if !fab.Connected("c1", "nn") {
+					return
+				}
+				gen, err := fs.AcquireLease(path, "c1")
+				if err != nil {
+					return
+				}
+				belief["c1"] = fmt.Sprintf("c1:%d", gen)
+				sim.Every(300, func() {
+					if paused || belief["c1"] == "" || !fab.Connected("c1", "nn") {
+						return
+					}
+					if err := fs.RenewLease(path, "c1"); err != nil {
+						belief["c1"] = "" // the client learns it lost the lease
+					}
+				})
+			})
+
+			// The NameNode's lease monitor: a 100 ms cadence that gives
+			// the invariant layer an observation point at the exact
+			// expiry instant (expiry itself is lazy).
+			sim.Every(100, func() {})
+
+			// The DataNode caches the NameNode's lease view every 250 ms
+			// and validates pipeline writes against the cache.
+			sim.Every(250, func() {
+				if !fab.Connected("dn", "nn") {
+					return
+				}
+				holder, gen := fs.LeaseHolder(path)
+				if holder == "" {
+					dnCache = ""
+				} else {
+					dnCache = fmt.Sprintf("%s:%d", holder, gen)
+				}
+				dnSynced = true
+			})
+
+			// write models a pipeline write: the DataNode accepts it when
+			// the presented holder:gen matches its cache (or it has no
+			// cached lease to check against), and the scenario judges the
+			// outcome against the NameNode's ground truth.
+			write := func(client string) {
+				cred := belief[client]
+				if cred == "" || !fab.Connected(client, "dn") {
+					return
+				}
+				accepted := dnCache == "" || dnCache == cred
+				holder, _ := fs.LeaseHolder(path)
+				switch {
+				case accepted && holder != client:
+					in.Report("partition-lease-split-brain", fmt.Sprintf(
+						"DataNode accepted a pipeline write from %s under stale lease %s while the NameNode's lease holder is %q (HDFS-15235 split-brain)",
+						client, cred, holder))
+				case !accepted && holder == client:
+					in.Report("partition-lease-split-brain", fmt.Sprintf(
+						"DataNode rejected the current lease holder %s (lease %s): its cached pipeline lease %q never learned the reassignment",
+						client, cred, dnCache))
+				}
+			}
+
+			// c2 acquires the lapsed lease at 3200 ms (retrying while the
+			// NameNode is unreachable) and writes at 3500 ms; c1 — still
+			// believing it holds the lease — writes at 4000 ms.
+			var c2Acquire func()
+			c2Acquire = func() {
+				if !fab.Connected("c2", "nn") {
+					sim.After(300, c2Acquire)
+					return
+				}
+				gen, err := fs.AcquireLease(path, "c2")
+				if err != nil {
+					sim.After(300, c2Acquire)
+					return
+				}
+				belief["c2"] = fmt.Sprintf("c2:%d", gen)
+			}
+			sim.After(3200, c2Acquire)
+			sim.After(3500, func() { write("c2") })
+			sim.After(4000, func() { write("c1") })
+
+			in.ViewsFn = func() map[string]View {
+				holder, gen := fs.LeaseHolder(path)
+				nnVal := ""
+				if holder != "" {
+					nnVal = fmt.Sprintf("%s:%d", holder, gen)
+				}
+				views := map[string]View{"nn": {key: nnVal}, "c1": {}, "c2": {}, "dn": {}}
+				if v, ok := belief["c1"]; ok {
+					views["c1"][key] = v
+				}
+				if v, ok := belief["c2"]; ok {
+					views["c2"][key] = v
+				}
+				if dnSynced {
+					views["dn"][key] = dnCache
+				}
+				return views
+			}
+			return in
+		},
+	}
+}

@@ -1,0 +1,206 @@
+package partition
+
+// P5 (KAFKA-3410 class): the controller elects partition leaders from
+// *its* copy of the ISR. The leader shrinks the ISR the moment a
+// follower lags, advances the high watermark alone, and tells the
+// controller on the next metadata sync — a window where leader and
+// controller hold different ISRs. Cut the leader away inside that
+// window and the controller "fails over" to the lagging follower,
+// electing a leader whose log is missing acknowledged records: the
+// consumer's next fetch lands beyond the new leader's log end.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/csi"
+	"repro/internal/kafkasim"
+	"repro/internal/vclock"
+)
+
+func scenarioKafkaISR() *Scenario {
+	const topic = "events"
+	return &Scenario{
+		ID:        "P5",
+		Name:      "kafka-isr",
+		System:    csi.Kafka,
+		Anchor:    "KAFKA-3410",
+		Signature: "partition-isr-divergence",
+		Nodes:     []string{"controller", "b1", "b2"},
+		HorizonMs: 6000,
+		ArmAtMs:   500,
+		WindowKey: "isr:" + topic + "/0",
+		Build: func(sim *vclock.Sim, fab *Fabric) *Instance {
+			in := NewInstance(sim)
+
+			// One Broker instance per broker node: each holds its own log
+			// and its own local copy of the replication metadata.
+			b1log, b2log := kafkasim.NewBroker(), kafkasim.NewBroker()
+			_ = b1log.CreateTopic(topic, 1)
+			_ = b2log.CreateTopic(topic, 1)
+			_ = b1log.SetLeader(topic, 0, "b1")
+			_ = b1log.SetISR(topic, 0, "b1", "b2")
+			_ = b2log.SetLeader(topic, 0, "b1")
+			_ = b2log.SetISR(topic, 0, "b1", "b2")
+			logOf := func(name string) *kafkasim.Broker {
+				if name == "b2" {
+					return b2log
+				}
+				return b1log
+			}
+
+			// The controller's own metadata copy.
+			ctrlLeader := "b1"
+			ctrlISR := []string{"b1", "b2"}
+			missed := 0
+
+			b2Slow := false
+			sim.After(2000, func() { b2Slow = true })
+
+			// Producer: a record every 150 ms until 2500 ms, to whichever
+			// broker the controller's metadata names as leader. b1
+			// replicates to b2 while it can; once the ISR is down to the
+			// leader alone, the high watermark advances without b2.
+			sim.Every(150, func() {
+				if sim.Now() > 2500 {
+					return
+				}
+				lead := logOf(ctrlLeader)
+				off, err := lead.Produce(topic, 0, "", []byte(fmt.Sprintf("v%d", sim.Now())))
+				if err != nil {
+					return
+				}
+				if ctrlLeader != "b1" {
+					_ = lead.SetHighWatermark(topic, 0, off+1)
+					return
+				}
+				if !b2Slow && fab.Connected("b1", "b2") {
+					_, _ = b2log.Produce(topic, 0, "", []byte(fmt.Sprintf("v%d", sim.Now())))
+					_ = b1log.SetHighWatermark(topic, 0, off+1)
+					_ = b2log.SetHighWatermark(topic, 0, off+1)
+				} else if isr, _ := b1log.ISR(topic, 0); len(isr) == 1 {
+					_ = b1log.SetHighWatermark(topic, 0, off+1)
+				}
+			})
+
+			// b1's ISR manager notices the lagging follower at 2100 ms,
+			// shrinks the ISR to itself and commits its whole log.
+			sim.After(2100, func() {
+				if b2Slow {
+					_ = b1log.SetISR(topic, 0, "b1")
+					end, _ := b1log.EndOffset(topic, 0)
+					_ = b1log.SetHighWatermark(topic, 0, end)
+				}
+			})
+
+			// b2 recovers at 3000 ms: catches up from b1 and rejoins the
+			// ISR (only meaningful while b1 is still the leader).
+			sim.After(3000, func() {
+				b2Slow = false
+				if ctrlLeader != "b1" || !fab.Connected("b2", "b1") {
+					return
+				}
+				end2, _ := b2log.EndOffset(topic, 0)
+				recs, _, err := b1log.Fetch(topic, 0, end2, 1000)
+				if err != nil {
+					return
+				}
+				for _, r := range recs {
+					_, _ = b2log.Produce(topic, 0, r.Key, r.Value)
+				}
+				_ = b1log.SetISR(topic, 0, "b1", "b2")
+				end1, _ := b1log.EndOffset(topic, 0)
+				_ = b1log.SetHighWatermark(topic, 0, end1)
+				_ = b2log.SetHighWatermark(topic, 0, end1)
+			})
+
+			// Metadata propagation from the leader, every 250 ms: to the
+			// controller and to the follower.
+			sim.Every(250, func() {
+				if ctrlLeader != "b1" {
+					return
+				}
+				isr, _ := b1log.ISR(topic, 0)
+				if fab.Connected("b1", "controller") {
+					ctrlISR = isr
+				}
+				if fab.Connected("b1", "b2") {
+					_ = b2log.SetISR(topic, 0, isr...)
+				}
+			})
+
+			// The controller's failure detector: two consecutive missed
+			// pings and it elects a new leader from ITS ISR copy. An ISR
+			// that (correctly) holds only the dead leader yields no
+			// candidate and the partition stays put — the stale copy is
+			// what makes the election unclean.
+			sim.Every(300, func() {
+				if ctrlLeader != "b1" {
+					return
+				}
+				if fab.Connected("controller", "b1") {
+					missed = 0
+					return
+				}
+				missed++
+				if missed < 2 {
+					return
+				}
+				for _, cand := range ctrlISR {
+					if cand == "b1" {
+						continue
+					}
+					ctrlLeader = cand
+					lead := logOf(cand)
+					_ = lead.SetLeader(topic, 0, cand)
+					_ = lead.SetISR(topic, 0, cand)
+					end, _ := lead.EndOffset(topic, 0)
+					_ = lead.SetHighWatermark(topic, 0, end)
+					return
+				}
+			})
+
+			// The consumer polls the leader named by the controller every
+			// 200 ms, reading only committed records. Resuming past the
+			// new leader's log end means acknowledged records vanished.
+			consNext := int64(0)
+			sim.Every(200, func() {
+				lead := logOf(ctrlLeader)
+				_, next, err := lead.Fetch(topic, 0, consNext, 100)
+				if err != nil {
+					if errors.Is(err, kafkasim.ErrOffsetOutOfRange) {
+						end, _ := lead.EndOffset(topic, 0)
+						if consNext > end {
+							in.Report("partition-isr-divergence", fmt.Sprintf(
+								"consumer resumed at offset %d on new leader %s whose log ends at %d: %d acknowledged records vanished after an election from the controller's stale ISR (KAFKA-3410 class)",
+								consNext, ctrlLeader, end, consNext-end))
+						}
+					}
+					return
+				}
+				if hwm, _ := lead.HighWatermark(topic, 0); next > hwm {
+					next = hwm
+				}
+				if next > consNext {
+					consNext = next
+				}
+			})
+
+			in.ViewsFn = func() map[string]View {
+				isrKey, leaderKey := "isr:"+topic+"/0", "leader:"+topic+"/0"
+				view := func(b *kafkasim.Broker) View {
+					lead, _ := b.Leader(topic, 0)
+					isr, _ := b.ISR(topic, 0)
+					return View{leaderKey: lead, isrKey: strings.Join(isr, ",")}
+				}
+				return map[string]View{
+					"controller": {leaderKey: ctrlLeader, isrKey: strings.Join(ctrlISR, ",")},
+					"b1":         view(b1log),
+					"b2":         view(b2log),
+				}
+			}
+			return in
+		},
+	}
+}

@@ -1,0 +1,207 @@
+package partition
+
+// The two YARN scenarios, anchored to CoFI's ResourceManager findings:
+//
+//   P3 (YARN-10288): the RM's application state machine is fed by AM
+//   heartbeats. Freeze the heartbeat while the AM finishes and a later
+//   kill is applied to a stale RUNNING machine — the RM records KILLED
+//   for an application that completed successfully (the same stale-
+//   state-machine class whose loud symptom is the "invalid application
+//   state transition" error).
+//
+//   P4 (YARN-10301): stopping a service whose container has already
+//   exited relies on the NodeManager's status sync. Freeze it and the
+//   RM forwards the stop into the partition forever — the stop never
+//   completes.
+
+import (
+	"fmt"
+
+	"repro/internal/csi"
+	"repro/internal/vclock"
+	"repro/internal/yarnsim"
+)
+
+func scenarioYarnAppState() *Scenario {
+	return &Scenario{
+		ID:        "P3",
+		Name:      "yarn-app-state",
+		System:    csi.YARN,
+		Anchor:    "YARN-10288",
+		Signature: "partition-app-state",
+		Nodes:     []string{"rm", "am", "client"},
+		HorizonMs: 6000,
+		ArmAtMs:   1500,
+		WindowKey: "app:1",
+		Build: func(sim *vclock.Sim, fab *Fabric) *Instance {
+			in := NewInstance(sim)
+			rm := yarnsim.New(sim, yarnsim.Options{})
+			app := rm.SubmitApplication("batch-job")
+			amState := yarnsim.StateAccepted
+
+			// The AM's real lifecycle: RUNNING at 1000 ms, FINISHED at
+			// 2000 ms.
+			sim.After(1000, func() {
+				if amState == yarnsim.StateAccepted {
+					amState = yarnsim.StateRunning
+				}
+			})
+			sim.After(2000, func() {
+				if amState == yarnsim.StateRunning {
+					amState = yarnsim.StateFinished
+				}
+			})
+
+			// AM heartbeats reconcile the RM's state machine toward the
+			// AM's, one valid transition at a time.
+			sim.Every(300, func() {
+				if !fab.Connected("am", "rm") {
+					return
+				}
+				for {
+					rmState, err := rm.AppState(app.ID)
+					if err != nil || rmState == amState {
+						return
+					}
+					next := rmState
+					switch rmState {
+					case yarnsim.StateAccepted:
+						next = yarnsim.StateRunning
+					case yarnsim.StateRunning:
+						next = amState
+					}
+					if next == rmState || rm.TransitionApp(app.ID, next) != nil {
+						return
+					}
+				}
+			})
+
+			// The client kills the application at 3500 ms. Against a
+			// current state machine the kill is rejected with the
+			// YARN-10288 invalid-transition error ("already finished");
+			// against a stale RUNNING machine it is recorded.
+			sim.After(3500, func() {
+				if !fab.Connected("client", "rm") {
+					return
+				}
+				if err := rm.TransitionApp(app.ID, yarnsim.StateKilled); err != nil {
+					return // correctly rejected: the app already finished
+				}
+				if fab.Connected("rm", "am") && yarnsim.ValidAppTransition(amState, yarnsim.StateKilled) {
+					amState = yarnsim.StateKilled
+				}
+			})
+
+			in.FinalCheck = func() {
+				rmState, _ := rm.AppState(app.ID)
+				if amState == yarnsim.StateFinished && rmState == yarnsim.StateKilled {
+					in.Report("partition-app-state", fmt.Sprintf(
+						"the application finished successfully on its AM, but the RM recorded %s: a kill landed on the RM's stale RUNNING state machine (YARN-10288 class)",
+						rmState))
+				}
+			}
+			in.ViewsFn = func() map[string]View {
+				rmState, _ := rm.AppState(app.ID)
+				return map[string]View{
+					"rm":     {"app:1": rmState.String()},
+					"am":     {"app:1": amState.String()},
+					"client": {},
+				}
+			}
+			return in
+		},
+	}
+}
+
+func scenarioYarnServiceStop() *Scenario {
+	return &Scenario{
+		ID:        "P4",
+		Name:      "yarn-service-stop",
+		System:    csi.YARN,
+		Anchor:    "YARN-10301",
+		Signature: "partition-stop-lost",
+		Nodes:     []string{"rm", "nm", "client"},
+		HorizonMs: 6000,
+		ArmAtMs:   1000,
+		WindowKey: "container:1",
+		Build: func(sim *vclock.Sim, fab *Fabric) *Instance {
+			in := NewInstance(sim)
+			rm := yarnsim.New(sim, yarnsim.Options{})
+
+			nmState := ""  // the container's real state on the NodeManager
+			rmCache := ""  // the RM's view of it
+			stopRequested, stopped := false, false
+
+			rm.RequestContainers(1, yarnsim.Resource{MemoryMB: 1024, Vcores: 1},
+				func(c *yarnsim.Container) {
+					nmState = "RUNNING"
+					rmCache = "RUNNING"
+				}, nil)
+
+			// The service's container exits at 2200 ms.
+			sim.After(2200, func() {
+				if nmState == "RUNNING" {
+					nmState = "EXITED"
+				}
+			})
+
+			// NodeManager status sync keeps the RM's cache honest.
+			sim.Every(300, func() {
+				if nmState != "" && fab.Connected("nm", "rm") {
+					rmCache = nmState
+				}
+			})
+
+			// The client asks the RM to stop the service at 3600 ms. An
+			// RM that knows the container exited acknowledges at once;
+			// otherwise it forwards the stop to the NodeManager,
+			// retrying every 400 ms while the NM is unreachable.
+			var rmStop func()
+			rmStop = func() {
+				if stopped {
+					return
+				}
+				if rmCache == "EXITED" || rmCache == "STOPPED" {
+					stopped = true
+					return
+				}
+				if fab.Connected("rm", "nm") {
+					nmState = "STOPPED"
+					rmCache = "STOPPED"
+					stopped = true
+					return
+				}
+				sim.After(400, rmStop)
+			}
+			var clientStop func()
+			clientStop = func() {
+				if !fab.Connected("client", "rm") {
+					sim.After(400, clientStop)
+					return
+				}
+				stopRequested = true
+				rmStop()
+			}
+			sim.After(3600, clientStop)
+
+			in.FinalCheck = func() {
+				if stopRequested && !stopped {
+					in.Report("partition-stop-lost", fmt.Sprintf(
+						"the stop of a service whose container had already exited never completed: the RM's cached container state %q kept it retrying a NodeManager it could not reach (YARN-10301)",
+						rmCache))
+				}
+			}
+			in.ViewsFn = func() map[string]View {
+				views := map[string]View{"rm": {}, "nm": {}, "client": {}}
+				if rmCache != "" {
+					views["rm"]["container:1"] = rmCache
+				}
+				if nmState != "" {
+					views["nm"]["container:1"] = nmState
+				}
+				return views
+			}
+			return in
+		},
+	}
+}

@@ -1,0 +1,137 @@
+package partition
+
+// The scenario registry: seven control-plane deployments, each wired
+// from the real simulators with per-node cached views reconciled over
+// fabric-gated periodic loops, each anchored to the JIRA issue whose
+// failure mode it reproduces. Every scenario has one *natural*
+// inconsistency window — a span of virtual time where two nodes
+// legitimately disagree while a reconciliation message is in flight —
+// and one management-plane operation later in the timeline that goes
+// wrong if the disagreement is frozen. The windows are narrow (100-300
+// ms in 5-8 s horizons) and the acting operations are far from them,
+// which is exactly why naive random-time injection with a bounded hold
+// either misses the window or heals early enough for recovery to mask
+// the bug.
+
+import (
+	"sort"
+
+	"repro/internal/csi"
+	"repro/internal/vclock"
+)
+
+// Instance is one built scenario run: live view closures plus the
+// violations the scenario's ground-truth checks reported.
+type Instance struct {
+	sim *vclock.Sim
+	// ViewsFn snapshots every node's current view of shared state.
+	ViewsFn func() map[string]View
+	// FinalCheck, if set, runs after the horizon — for invariants only
+	// decidable at end of run (terminal state machines, divergent logs).
+	FinalCheck func()
+
+	violations []Violation
+	seen       map[string]bool
+}
+
+// NewInstance creates an instance on the scenario's clock.
+func NewInstance(sim *vclock.Sim) *Instance {
+	return &Instance{sim: sim, seen: make(map[string]bool)}
+}
+
+// Report records an invariant violation, deduplicating by signature
+// (the same split-brain often trips several ground-truth checks).
+func (in *Instance) Report(signature, detail string) {
+	if in.seen[signature] {
+		return
+	}
+	in.seen[signature] = true
+	in.violations = append(in.violations, Violation{AtMs: in.sim.Now(), Signature: signature, Detail: detail})
+}
+
+// Violations returns the reported violations in report order.
+func (in *Instance) Violations() []Violation {
+	return append([]Violation(nil), in.violations...)
+}
+
+// Views snapshots the node views.
+func (in *Instance) Views() map[string]View {
+	if in.ViewsFn == nil {
+		return nil
+	}
+	return in.ViewsFn()
+}
+
+// Scenario is one registered partition scenario.
+type Scenario struct {
+	// ID is the P* registry key (inject.PartitionRegistry mirrors it).
+	ID string
+	// Name is the stable scenario name used by CLIs and job specs.
+	Name string
+	// System is the primary system whose shared state diverges.
+	System csi.System
+	// Anchor is the JIRA issue the failure mode reproduces.
+	Anchor string
+	// Signature is the classifier key the scenario's violation carries.
+	Signature string
+	// Nodes are the fabric's node names.
+	Nodes []string
+	// HorizonMs bounds the run.
+	HorizonMs int64
+	// ArmAtMs is when the guided monitor arms: initial-propagation
+	// transients before it are not injection candidates.
+	ArmAtMs int64
+	// WindowKey names the view key whose natural disagreement window
+	// the scenario is built around (reports and EXPERIMENTS.md).
+	WindowKey string
+	// Build wires the simulators onto the clock and fabric.
+	Build func(sim *vclock.Sim, fab *Fabric) *Instance
+	// Isolate applies the guided cut for an observed inconsistency.
+	// Nil means the default: a held symmetric cut of every link between
+	// disagreeing nodes.
+	Isolate func(fab *Fabric, inc Inconsistency)
+}
+
+// isolate applies the scenario's guided cut.
+func (sc *Scenario) isolate(fab *Fabric, inc Inconsistency) {
+	if sc.Isolate != nil {
+		sc.Isolate(fab, inc)
+		return
+	}
+	for _, pair := range inc.DisagreeingPairs() {
+		fab.Cut(pair[0], pair[1])
+	}
+}
+
+// Scenarios returns the registry in P* order.
+func Scenarios() []*Scenario {
+	return []*Scenario{
+		scenarioHDFSReplica(),
+		scenarioHDFSLease(),
+		scenarioYarnAppState(),
+		scenarioYarnServiceStop(),
+		scenarioKafkaISR(),
+		scenarioHBaseRegionAssign(),
+		scenarioFlinkPendingBook(),
+	}
+}
+
+// ByName returns the named scenario, or nil.
+func ByName(name string) *Scenario {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	return nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	var out []string
+	for _, sc := range Scenarios() {
+		out = append(out, sc.Name)
+	}
+	sort.Strings(out)
+	return out
+}

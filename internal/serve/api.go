@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/partition"
 	"repro/internal/versions"
 )
 
@@ -33,6 +34,10 @@ const (
 	// KindSkew runs the version-skew matrix: the corpus over every
 	// writer×reader version pair, classifying skew-only discrepancies.
 	KindSkew = "skew"
+	// KindPartition runs a CoFI partition campaign over the control-plane
+	// scenario registry, identified by (seed, scenarios, strategy,
+	// trials, hold, schedule).
+	KindPartition = "partition"
 )
 
 // JobSpec is a submitted job. The spec — not the submission — is the
@@ -59,6 +64,18 @@ type JobSpec struct {
 	// a default, which would alias two different deployments under one
 	// cache key.
 	Pairs []string `json:"pairs,omitempty"`
+
+	// Partition parameters: the campaign's scenario subset (empty means
+	// the full P* registry, in registry order), injection strategy
+	// (empty means guided), random-trial budget and hold, and — for the
+	// fixed strategy — the explicit cut schedule. All omitempty: specs
+	// of other kinds never carry them, so pre-partition cache keys are
+	// byte-identical.
+	Scenarios []string        `json:"scenarios,omitempty"`
+	Strategy  string          `json:"strategy,omitempty"`
+	Trials    int             `json:"trials,omitempty"`
+	HoldMs    int64           `json:"hold_ms,omitempty"`
+	Schedule  []partition.Cut `json:"schedule,omitempty"`
 
 	// Parallel is the per-job harness worker count (not part of the
 	// cache key; values below 2 run sequentially).
@@ -91,11 +108,74 @@ func (s *JobSpec) Validate() error {
 		if s.Confs < 0 {
 			return fmt.Errorf("serve: confs must be non-negative, got %d", s.Confs)
 		}
+	case KindPartition:
+		if err := s.validatePartition(); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("serve: unknown job kind %q (want %s, %s, %s, or %s)", s.Kind, KindCorpus, KindSweep, KindFuzz, KindSkew)
+		return fmt.Errorf("serve: unknown job kind %q (want %s, %s, %s, %s, or %s)", s.Kind, KindCorpus, KindSweep, KindFuzz, KindSkew, KindPartition)
 	}
 	if s.Parallel < 0 {
 		return fmt.Errorf("serve: parallel must be non-negative, got %d", s.Parallel)
+	}
+	return nil
+}
+
+// validatePartition rejects malformed partition campaigns at admission:
+// unknown scenario names, unknown strategies, a fixed strategy without a
+// schedule, and schedule cuts naming nodes no selected scenario has.
+func (s *JobSpec) validatePartition() error {
+	known := map[string]bool{}
+	for _, name := range s.Scenarios {
+		sc := partition.ByName(name)
+		if sc == nil {
+			return fmt.Errorf("serve: unknown partition scenario %q (have %s)", name, strings.Join(partition.Names(), ", "))
+		}
+		for _, n := range sc.Nodes {
+			known[n] = true
+		}
+	}
+	if len(s.Scenarios) == 0 {
+		for _, sc := range partition.Scenarios() {
+			for _, n := range sc.Nodes {
+				known[n] = true
+			}
+		}
+	}
+	strategy := s.Strategy
+	if strategy == "" {
+		strategy = string(partition.StrategyGuided)
+	}
+	if !partition.ValidStrategy(strategy) {
+		return fmt.Errorf("serve: unknown partition strategy %q (have %s)", s.Strategy, strings.Join(partition.Strategies(), ", "))
+	}
+	if strategy == string(partition.StrategyFixed) && len(s.Schedule) == 0 {
+		return fmt.Errorf("serve: partition strategy %q needs a non-empty schedule", partition.StrategyFixed)
+	}
+	for _, c := range s.Schedule {
+		if c.From == "" || c.To == "" {
+			return fmt.Errorf("serve: partition schedule cut needs both node names, got %q->%q", c.From, c.To)
+		}
+		for _, n := range []string{c.From, c.To} {
+			if !known[n] {
+				return fmt.Errorf("serve: partition schedule names node %q, which no selected scenario has", n)
+			}
+		}
+		if c.AtMs < 0 {
+			return fmt.Errorf("serve: partition schedule cut time must be non-negative, got %d", c.AtMs)
+		}
+		if c.HealAtMs != 0 && c.HealAtMs <= c.AtMs {
+			return fmt.Errorf("serve: partition cut heal time %d must follow the cut at %d (or be 0 to hold)", c.HealAtMs, c.AtMs)
+		}
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("serve: trials must be non-negative, got %d", s.Trials)
+	}
+	if s.Trials > 10_000 {
+		return fmt.Errorf("serve: trials %d exceeds the 10000 admission limit", s.Trials)
+	}
+	if s.HoldMs < 0 {
+		return fmt.Errorf("serve: hold_ms must be non-negative, got %d", s.HoldMs)
 	}
 	return nil
 }
@@ -114,6 +194,14 @@ type keySpec struct {
 	N        int               `json:"n,omitempty"`
 	Confs    int               `json:"confs,omitempty"`
 	Pairs    []string          `json:"pairs,omitempty"`
+	// Partition fields, appended after the pre-partition schema: all
+	// omitempty and never set for other kinds, so every pre-partition
+	// cache key encodes to the same bytes as before.
+	Scenarios []string        `json:"scenarios,omitempty"`
+	Strategy  string          `json:"strategy,omitempty"`
+	Trials    int             `json:"trials,omitempty"`
+	HoldMs    int64           `json:"hold_ms,omitempty"`
+	Schedule  []partition.Cut `json:"schedule,omitempty"`
 }
 
 const cacheKeyVersion = 1
@@ -181,6 +269,31 @@ func (s *JobSpec) CacheKey() (string, error) {
 		if ks.Confs == 0 {
 			ks.Confs = 6 // the fuzzgen default, so 0 and 6 share a key
 		}
+	case KindPartition:
+		ks.Seed = s.Seed
+		// Defaults are normalized into the key (a 0-trials and a
+		// 20-trials campaign are one result), and an empty scenario list
+		// expands to the explicit registry, so growing the registry mints
+		// new keys instead of serving stale "all scenarios" results.
+		ks.Scenarios = append([]string(nil), s.Scenarios...)
+		if len(ks.Scenarios) == 0 {
+			for _, sc := range partition.Scenarios() {
+				ks.Scenarios = append(ks.Scenarios, sc.Name)
+			}
+		}
+		ks.Strategy = s.Strategy
+		if ks.Strategy == "" {
+			ks.Strategy = string(partition.StrategyGuided)
+		}
+		ks.Trials = s.Trials
+		if ks.Trials == 0 {
+			ks.Trials = 20 // the campaign default
+		}
+		ks.HoldMs = s.HoldMs
+		if ks.HoldMs == 0 {
+			ks.HoldMs = 1000 // the campaign default
+		}
+		ks.Schedule = append([]partition.Cut(nil), s.Schedule...)
 	}
 	return core.HashSpec(ks)
 }
@@ -238,6 +351,7 @@ type JobResult struct {
 	Fuzz      *FuzzJSON         `json:"fuzz,omitempty"`
 	Skew      *SkewJSON         `json:"skew,omitempty"`
 	Sweep     []core.SweepCell  `json:"sweep,omitempty"`
+	Partition *partition.Result `json:"partition,omitempty"`
 	Conf      map[string]string `json:"conf,omitempty"`
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fuzzgen"
 	"repro/internal/inject"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/versions"
 )
 
@@ -19,9 +20,12 @@ import (
 type Executor struct {
 	executions atomic.Int64
 	// Tracer/Metrics are threaded into every harness run; per-job span
-	// trees hang off a per-job root span.
-	Tracer  *obs.Tracer
-	Metrics *obs.Registry
+	// trees hang off a per-job root span. Recorder receives partition
+	// fault-plane events (cuts, heals, invariant violations); nil
+	// disables them.
+	Tracer   *obs.Tracer
+	Metrics  *obs.Registry
+	Recorder *obs.Recorder
 }
 
 // Executions returns how many jobs actually ran (cache hits excluded).
@@ -124,6 +128,32 @@ func (e *Executor) Execute(ctx context.Context, spec JobSpec, onFailure func(cor
 		}
 		res.Skew = skewJSON(m)
 		res.Rendered = m.Render()
+	case KindPartition:
+		// Campaigns run on the virtual clock and finish in milliseconds
+		// of wall time, so they are not cancellable mid-run; ctx is
+		// honored at the admission boundary like every other kind.
+		pres, err := partition.Run(partition.Options{
+			Seed:      spec.Seed,
+			Scenarios: spec.Scenarios,
+			Strategy:  partition.Strategy(spec.Strategy),
+			Trials:    spec.Trials,
+			HoldMs:    spec.HoldMs,
+			Parallel:  spec.Parallel,
+			Schedule:  spec.Schedule,
+			Tracer:    e.Tracer,
+			Metrics:   e.Metrics,
+			Recorder:  e.Recorder,
+			OnFinding: func(f partition.Finding) {
+				if onFailure != nil {
+					onFailure(core.PartitionFailure(f.Scenario, f.Signature, f.Detail))
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Partition = pres
+		res.Rendered = pres.Render()
 	default:
 		return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
 	}

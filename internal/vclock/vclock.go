@@ -82,6 +82,21 @@ func (s *Sim) Run(until int64) int {
 	return n
 }
 
+// NextAt returns the virtual time of the next live event, or -1 when
+// the queue is empty. Cancelled events at the head are discarded. It
+// lets a step-driven monitor (the partition fault plane's guided
+// injector) process exactly the events inside a horizon.
+func (s *Sim) NextAt() int64 {
+	for s.events.Len() > 0 {
+		if s.events[0].cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0].at
+	}
+	return -1
+}
+
 // Step processes exactly one pending event, returning false when the
 // queue is empty.
 func (s *Sim) Step() bool {

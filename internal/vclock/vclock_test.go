@@ -120,3 +120,30 @@ func TestNegativeDelayRunsImmediately(t *testing.T) {
 		t.Errorf("time moved backwards: %d", s.Now())
 	}
 }
+
+// TestNextAtPeeksWithoutAdvancing pins the step-driven monitor's
+// contract: NextAt reports the next live event time without running
+// anything, skips cancelled timers, and returns -1 on an empty queue.
+func TestNextAtPeeksWithoutAdvancing(t *testing.T) {
+	s := New()
+	fired := false
+	cancelled := s.After(10, func() {})
+	s.After(20, func() { fired = true })
+	cancelled.Stop()
+
+	if got := s.NextAt(); got != 20 {
+		t.Errorf("NextAt = %d, want 20 (the cancelled timer at 10 must be skipped)", got)
+	}
+	if s.Now() != 0 || fired {
+		t.Error("NextAt must not advance the clock or run events")
+	}
+	if !s.Step() {
+		t.Fatal("Step found nothing despite NextAt reporting an event")
+	}
+	if s.Now() != 20 || !fired {
+		t.Errorf("Step landed at %d fired=%v, want 20/true", s.Now(), fired)
+	}
+	if got := s.NextAt(); got != -1 {
+		t.Errorf("NextAt on an empty queue = %d, want -1", got)
+	}
+}

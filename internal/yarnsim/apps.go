@@ -41,6 +41,7 @@ func (s AppStatus) String() string {
 type Application struct {
 	ID          int64
 	Name        string
+	State       AppState // lifecycle state (transition-validated)
 	Finished    bool
 	FinalStatus AppStatus
 	Diagnostics string

@@ -1,0 +1,89 @@
+package yarnsim
+
+// Application lifecycle state machine with transition validation — the
+// RM-side state CoFI's YARN findings (YARN-10288, YARN-10232) revolve
+// around: when a partition hides the AM's progress from the RM, the
+// RM's copy of the state machine goes stale, and a later management
+// operation (kill, stop) either fires an "invalid application state
+// transition" error or overwrites an outcome that already happened.
+
+import "fmt"
+
+// AppState is an application's lifecycle state as the RM tracks it.
+// (AppStatus remains the separate *final status* the AM reports; the
+// lifecycle state is what transitions are validated against.)
+type AppState int
+
+// The lifecycle states.
+const (
+	StateAccepted AppState = iota
+	StateRunning
+	StateFinished
+	StateKilled
+)
+
+// String names the state as YARN logs it.
+func (s AppState) String() string {
+	switch s {
+	case StateAccepted:
+		return "ACCEPTED"
+	case StateRunning:
+		return "RUNNING"
+	case StateFinished:
+		return "FINISHED"
+	case StateKilled:
+		return "KILLED"
+	default:
+		return fmt.Sprintf("AppState(%d)", int(s))
+	}
+}
+
+// InvalidTransitionError is the YARN-10288 error class: an event
+// applied to a state machine that cannot accept it.
+type InvalidTransitionError struct {
+	App      int64
+	From, To AppState
+}
+
+// Error implements the error interface.
+func (e *InvalidTransitionError) Error() string {
+	return fmt.Sprintf("yarn: invalid application state transition for app %d: %s -> %s", e.App, e.From, e.To)
+}
+
+// ValidAppTransition reports whether the lifecycle state machine
+// accepts the transition. FINISHED and KILLED are terminal.
+func ValidAppTransition(from, to AppState) bool {
+	switch from {
+	case StateAccepted:
+		return to == StateRunning || to == StateKilled
+	case StateRunning:
+		return to == StateFinished || to == StateKilled
+	default:
+		return false
+	}
+}
+
+// AppState returns the RM's lifecycle state for the application.
+func (rm *ResourceManager) AppState(id int64) (AppState, error) {
+	app, ok := rm.apps[id]
+	if !ok {
+		return StateAccepted, fmt.Errorf("yarn: unknown application %d", id)
+	}
+	return app.State, nil
+}
+
+// TransitionApp applies a lifecycle transition to the RM's state
+// machine, rejecting invalid ones. The rejection is the point: it is
+// what a kill against an already-terminal application surfaces, and
+// what goes *missing* when the RM's state machine is stale.
+func (rm *ResourceManager) TransitionApp(id int64, to AppState) error {
+	app, ok := rm.apps[id]
+	if !ok {
+		return fmt.Errorf("yarn: unknown application %d", id)
+	}
+	if !ValidAppTransition(app.State, to) {
+		return &InvalidTransitionError{App: id, From: app.State, To: to}
+	}
+	app.State = to
+	return nil
+}
