@@ -1,0 +1,39 @@
+// External test package: internal/core (which loadgen uses for report
+// hashing) imports inject, so the mirror test must sit outside the
+// package to avoid a test-only import cycle.
+package inject_test
+
+import (
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/loadgen"
+)
+
+// TestLoadRegistryMirrorsClassifier pins the round trip with the
+// loadgen classifier in both directions: every signature the
+// classifier can emit maps to exactly one registry entry, and every
+// registry signature is one the classifier actually emits.
+func TestLoadRegistryMirrorsClassifier(t *testing.T) {
+	emitted := loadgen.KnownSignatures()
+	index := inject.LoadBySignature()
+	if len(emitted) != len(index) {
+		t.Errorf("classifier emits %d signatures, registry indexes %d", len(emitted), len(index))
+	}
+	for _, sig := range emitted {
+		if _, ok := index[sig]; !ok {
+			t.Errorf("classifier signature %q has no registry entry", sig)
+		}
+	}
+	known := map[string]bool{}
+	for _, sig := range emitted {
+		known[sig] = true
+	}
+	for _, d := range inject.LoadRegistry() {
+		for _, sig := range d.Signatures {
+			if !known[sig] {
+				t.Errorf("%s signature %q is not one the classifier emits", d.ID, sig)
+			}
+		}
+	}
+}

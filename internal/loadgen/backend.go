@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"repro/internal/kafkasim"
+	"repro/internal/yarnsim"
+)
+
+// Backend hooks a simulated control plane behind the service plane:
+// every request the SimServer completes performs one operation against
+// the backing system. This is how the engine "drives" the YARN and
+// Kafka simulators — overload in the workload engine becomes real
+// control-plane traffic (application lifecycles, produce/fetch round
+// trips) instead of an abstract service delay, so a metastable cell
+// leaves the same footprint in the control plane that the paper's
+// cross-system failures do.
+//
+// Implementations run inside vclock callbacks and need not be
+// goroutine-safe.
+type Backend interface {
+	Name() string
+	// Op performs the n-th completed request's operation (n counts from
+	// 0). Errors are counted (RunStats.BackendErrs) but do not fail the
+	// request: a degraded control plane does not stop the data plane.
+	Op(n int64) error
+}
+
+// YarnBackend drives the simulated YARN ResourceManager: each served
+// request is one application lifecycle — submit, report a final
+// status, read the status back — so a load cell exercises the same
+// registration path the monitoring-plane failures (SPARK-3627,
+// SPARK-10851) live on.
+type YarnBackend struct {
+	RM *yarnsim.ResourceManager
+	// FailEvery > 0 reports every n-th application FAILED, keeping the
+	// RM's ledger heterogeneous the way a real cluster's is.
+	FailEvery int64
+
+	apps int64
+}
+
+// Name implements Backend.
+func (b *YarnBackend) Name() string { return "yarn" }
+
+// Apps returns the number of application lifecycles completed.
+func (b *YarnBackend) Apps() int64 { return b.apps }
+
+// Op implements Backend.
+func (b *YarnBackend) Op(n int64) error {
+	app := b.RM.SubmitApplication(fmt.Sprintf("load-%06d", n))
+	status := yarnsim.AppSucceeded
+	if b.FailEvery > 0 && n%b.FailEvery == b.FailEvery-1 {
+		status = yarnsim.AppFailed
+	}
+	if err := b.RM.ReportFinalStatus(app.ID, status, ""); err != nil {
+		return err
+	}
+	got, finished, err := b.RM.ApplicationStatus(app.ID)
+	if err != nil {
+		return err
+	}
+	if !finished || got != status {
+		return fmt.Errorf("yarn backend: application %d recorded %s (finished=%v), want %s",
+			app.ID, got, finished, status)
+	}
+	b.apps++
+	return nil
+}
+
+// KafkaBackend drives the simulated Kafka broker: each served request
+// produces one keyed record (round-robin across partitions) and
+// fetches it back, a full data-plane round trip per completion.
+type KafkaBackend struct {
+	Broker     *kafkasim.Broker
+	Topic      string
+	Partitions int
+
+	produced int64
+}
+
+// NewKafkaBackend creates the topic and returns the backend.
+func NewKafkaBackend(broker *kafkasim.Broker, topic string, partitions int) (*KafkaBackend, error) {
+	if err := broker.CreateTopic(topic, partitions); err != nil {
+		return nil, err
+	}
+	return &KafkaBackend{Broker: broker, Topic: topic, Partitions: partitions}, nil
+}
+
+// Name implements Backend.
+func (b *KafkaBackend) Name() string { return "kafka" }
+
+// Produced returns the number of records produced and read back.
+func (b *KafkaBackend) Produced() int64 { return b.produced }
+
+// Op implements Backend.
+func (b *KafkaBackend) Op(n int64) error {
+	part := int(n % int64(b.Partitions))
+	key := fmt.Sprintf("load-%06d", n)
+	off, err := b.Broker.Produce(b.Topic, part, key, []byte("payload"))
+	if err != nil {
+		return err
+	}
+	recs, _, err := b.Broker.Fetch(b.Topic, part, off, 1)
+	if err != nil {
+		return err
+	}
+	if len(recs) != 1 || recs[0].Key != key {
+		return fmt.Errorf("kafka backend: read-back at %s/%d offset %d returned %d records", b.Topic, part, off, len(recs))
+	}
+	b.produced++
+	return nil
+}

@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/kafkasim"
+	"repro/internal/vclock"
+	"repro/internal/yarnsim"
+)
+
+// backendCell runs a small stable cell with the given backend: 50 rps
+// against 400 rps of capacity for 2 s, so every arrival is served and
+// every completion drives one control-plane operation.
+func backendCell(t *testing.T, b Backend) *RunStats {
+	t.Helper()
+	stats, err := Run(EngineConfig{
+		Seed:      7,
+		Curve:     Constant{RPS: 50 * MicroRPS},
+		HorizonMs: 2000,
+		Server:    ServerConfig{Workers: 4, QueueCap: 50, ServiceMs: 10},
+		Client:    ClientConfig{Policy: Naive{MaxAttempts: 2}},
+		Backend:   b,
+		Label:     "backend-cell",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestYarnBackendDrivesControlPlane pins the tentpole's YARN leg: each
+// served request is a full application lifecycle, and the RM's ledger
+// afterwards matches the engine's counters exactly.
+func TestYarnBackendDrivesControlPlane(t *testing.T) {
+	rm := yarnsim.New(vclock.New(), yarnsim.Options{})
+	backend := &YarnBackend{RM: rm, FailEvery: 10}
+	stats := backendCell(t, backend)
+
+	if stats.BackendOps == 0 {
+		t.Fatal("no control-plane operations for a cell full of completions")
+	}
+	if stats.BackendErrs != 0 {
+		t.Fatalf("backend errors = %d, want 0", stats.BackendErrs)
+	}
+	served := stats.Totals.Goodput + stats.Totals.Wasted
+	if stats.BackendOps != served {
+		t.Errorf("backend ops = %d, served = %d: one lifecycle per completion", stats.BackendOps, served)
+	}
+	if backend.Apps() != stats.BackendOps {
+		t.Errorf("backend completed %d lifecycles, ops counter says %d", backend.Apps(), stats.BackendOps)
+	}
+	// The RM recorded the heterogeneous statuses the backend reported.
+	status, finished, err := rm.ApplicationStatus(1)
+	if err != nil || !finished || status != yarnsim.AppSucceeded {
+		t.Errorf("application 1 = %v/%v/%v, want finished SUCCEEDED", status, finished, err)
+	}
+	status, _, err = rm.ApplicationStatus(10) // 10th op (n=9) is the FailEvery=10 failure
+	if err != nil || status != yarnsim.AppFailed {
+		t.Errorf("application 10 = %v/%v, want FAILED", status, err)
+	}
+}
+
+// TestKafkaBackendDrivesBroker pins the Kafka leg: every completion is
+// a produce + read-back round trip, and the broker's end offsets sum
+// to the operation count.
+func TestKafkaBackendDrivesBroker(t *testing.T) {
+	broker := kafkasim.NewBroker()
+	backend, err := NewKafkaBackend(broker, "load", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := backendCell(t, backend)
+
+	if stats.BackendErrs != 0 {
+		t.Fatalf("backend errors = %d, want 0", stats.BackendErrs)
+	}
+	if backend.Produced() != stats.BackendOps {
+		t.Errorf("produced %d, ops %d", backend.Produced(), stats.BackendOps)
+	}
+	var total int64
+	for p := 0; p < 3; p++ {
+		end, err := broker.EndOffset("load", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += end
+	}
+	if total != stats.BackendOps {
+		t.Errorf("broker holds %d records across partitions, want %d", total, stats.BackendOps)
+	}
+}
+
+// errBackend always fails; the engine must count the failures without
+// letting them disturb the data plane.
+type errBackend struct{ ops int64 }
+
+func (e *errBackend) Name() string { return "err" }
+func (e *errBackend) Op(int64) error {
+	e.ops++
+	return errors.New("control plane down")
+}
+
+func TestBackendErrorsDoNotFailRequests(t *testing.T) {
+	backend := &errBackend{}
+	stats := backendCell(t, backend)
+	if stats.BackendErrs != stats.BackendOps || stats.BackendErrs == 0 {
+		t.Errorf("errs %d of %d ops, want all", stats.BackendErrs, stats.BackendOps)
+	}
+	clean := backendCell(t, nil)
+	if stats.Totals.Goodput != clean.Totals.Goodput {
+		t.Errorf("goodput %d with failing backend vs %d without: backend errors must not fail requests",
+			stats.Totals.Goodput, clean.Totals.Goodput)
+	}
+}
+
+// TestBackendRunsDeterministic: a control-plane backend adds no
+// nondeterminism — identical configs give identical stats.
+func TestBackendRunsDeterministic(t *testing.T) {
+	a := backendCell(t, &YarnBackend{RM: yarnsim.New(vclock.New(), yarnsim.Options{})})
+	b := backendCell(t, &YarnBackend{RM: yarnsim.New(vclock.New(), yarnsim.Options{})})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("backend runs diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,121 @@
+package loadgen
+
+// BreakerConfig configures the client-side circuit breaker shared by a
+// population. Disabled (the zero value) means every attempt reaches
+// the server.
+type BreakerConfig struct {
+	Enabled bool
+	// FailThreshold is the number of consecutive failures that opens
+	// the breaker.
+	FailThreshold int
+	// OpenMs is how long the breaker stays open before letting one
+	// half-open probe through.
+	OpenMs int64
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a consecutive-failure circuit breaker on the virtual
+// clock. It is the load-shedding mechanism that turns a metastable
+// cell into a recovering one: while open, the amplified retry traffic
+// fails fast at the client instead of pinning the server's queue, so
+// the queue drains below the timeout boundary and the half-open probe
+// finds a healthy server.
+//
+// A nil *Breaker always allows (the breakerless rows).
+type Breaker struct {
+	cfg      BreakerConfig
+	state    int
+	fails    int
+	openedAt int64
+	probing  bool
+
+	// Opens counts closed/half-open -> open transitions, reported per
+	// cell: a flapping breaker is visible in the phase diagram.
+	Opens int64
+}
+
+// NewBreaker builds a breaker, or nil when the config is disabled.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if !cfg.Enabled {
+		return nil
+	}
+	if cfg.FailThreshold < 1 {
+		cfg.FailThreshold = 1
+	}
+	if cfg.OpenMs < 1 {
+		cfg.OpenMs = 1
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether an attempt may be issued at virtual time now.
+// An open breaker transitions to half-open after OpenMs and admits
+// exactly one probe; further attempts are shed until the probe
+// resolves.
+func (b *Breaker) Allow(now int64) bool {
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now-b.openedAt < b.cfg.OpenMs {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports an attempt outcome at virtual time now. Only
+// attempts Allow admitted should be recorded.
+func (b *Breaker) Record(now int64, ok bool) {
+	if b == nil {
+		return
+	}
+	if ok {
+		b.state = breakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.cfg.FailThreshold {
+		if b.state != breakerOpen {
+			b.Opens++
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		b.fails = 0
+		b.probing = false
+	}
+}
+
+// State renders the current state for stats sampling.
+func (b *Breaker) State() string {
+	if b == nil {
+		return "disabled"
+	}
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,96 @@
+package loadgen
+
+import "testing"
+
+func TestBreakerDisabledIsNil(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b != nil {
+		t.Fatal("disabled config must build a nil breaker")
+	}
+	// The nil breaker is a real code path (breakerless rows): every
+	// method must be safe and permissive.
+	if !b.Allow(0) {
+		t.Error("nil breaker must allow")
+	}
+	b.Record(0, false)
+	if got := b.State(); got != "disabled" {
+		t.Errorf("nil breaker State() = %q, want disabled", got)
+	}
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enabled: true, FailThreshold: 3, OpenMs: 100})
+	for i := 0; i < 2; i++ {
+		if !b.Allow(int64(i)) {
+			t.Fatalf("closed breaker denied attempt %d", i)
+		}
+		b.Record(int64(i), false)
+	}
+	// A success resets the consecutive count.
+	b.Record(2, true)
+	b.Record(3, false)
+	b.Record(4, false)
+	if b.State() != "closed" {
+		t.Fatalf("2 failures after a success should not open (threshold 3); state = %s", b.State())
+	}
+	b.Record(5, false)
+	if b.State() != "open" {
+		t.Fatalf("3 consecutive failures must open; state = %s", b.State())
+	}
+	if b.Opens != 1 {
+		t.Errorf("Opens = %d, want 1", b.Opens)
+	}
+	if b.Allow(6) {
+		t.Error("open breaker allowed an attempt before OpenMs elapsed")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enabled: true, FailThreshold: 1, OpenMs: 100})
+	b.Record(10, false) // open at t=10
+	if b.Allow(50) {
+		t.Fatal("allowed during open window")
+	}
+	if !b.Allow(110) {
+		t.Fatal("must admit one half-open probe after OpenMs")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if b.Allow(111) {
+		t.Fatal("second attempt admitted while probe in flight")
+	}
+	b.Record(120, true) // probe succeeds
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", b.State())
+	}
+	if !b.Allow(121) {
+		t.Error("closed breaker must allow")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enabled: true, FailThreshold: 5, OpenMs: 100})
+	for i := 0; i < 5; i++ {
+		b.Record(int64(i), false)
+	}
+	if b.Opens != 1 || b.State() != "open" {
+		t.Fatalf("state=%s opens=%d after threshold failures", b.State(), b.Opens)
+	}
+	if !b.Allow(200) {
+		t.Fatal("probe not admitted")
+	}
+	// One failed probe reopens immediately — no threshold accumulation
+	// in half-open.
+	b.Record(210, false)
+	if b.State() != "open" || b.Opens != 2 {
+		t.Fatalf("failed probe: state=%s opens=%d, want open/2", b.State(), b.Opens)
+	}
+	// The open window restarts from the probe failure.
+	if b.Allow(250) {
+		t.Error("reopened breaker allowed before its fresh OpenMs elapsed")
+	}
+	if !b.Allow(310) {
+		t.Error("reopened breaker must admit a probe after OpenMs from reopen")
+	}
+}

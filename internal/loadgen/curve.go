@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"repro/internal/fuzzgen"
+)
+
+// MicroRPS is the fixed-point rate unit: requests per second scaled by
+// 1e6. All curve arithmetic is integer, so a schedule is bit-identical
+// on every platform (no transcendental float functions anywhere near
+// the golden path).
+const MicroRPS int64 = 1_000_000
+
+// Curve is an offered-load profile: the target arrival rate at every
+// virtual instant, plus the phase structure the engine uses for spans
+// and the classifier uses to separate "during the perturbation" from
+// "after it ended".
+type Curve interface {
+	Name() string
+	// Rate returns the arrival rate at virtual time t, in micro-rps.
+	Rate(tMs int64) int64
+	// Phases splits [0, horizonMs) into labelled intervals. Phases
+	// marked Overload are the deliberate perturbation; classification
+	// keys off the end of the last one.
+	Phases(horizonMs int64) []Phase
+}
+
+// Phase is one labelled interval of a curve.
+type Phase struct {
+	Name     string
+	FromMs   int64
+	ToMs     int64
+	Overload bool
+}
+
+// Constant offers a flat rate.
+type Constant struct {
+	RPS int64 // micro-rps
+}
+
+func (c Constant) Name() string         { return "constant" }
+func (c Constant) Rate(tMs int64) int64 { return c.RPS }
+func (c Constant) Phases(horizonMs int64) []Phase {
+	return []Phase{{Name: "steady", FromMs: 0, ToMs: horizonMs}}
+}
+
+// Spike offers Base everywhere except [FromMs, ToMs), where it offers
+// Peak. This is the canonical metastability trigger: a bounded burst
+// whose effects should end when it does.
+type Spike struct {
+	Base   int64 // micro-rps
+	Peak   int64 // micro-rps
+	FromMs int64
+	ToMs   int64
+}
+
+func (c Spike) Name() string { return "spike" }
+func (c Spike) Rate(tMs int64) int64 {
+	if tMs >= c.FromMs && tMs < c.ToMs {
+		return c.Peak
+	}
+	return c.Base
+}
+func (c Spike) Phases(horizonMs int64) []Phase {
+	return []Phase{
+		{Name: "pre-spike", FromMs: 0, ToMs: c.FromMs},
+		{Name: "spike", FromMs: c.FromMs, ToMs: c.ToMs, Overload: true},
+		{Name: "post-spike", FromMs: c.ToMs, ToMs: horizonMs},
+	}
+}
+
+// Ramp interpolates linearly from From to To over [StartMs, EndMs),
+// holding To afterwards — the "success disaster" profile: growth that
+// crosses capacity and stays there.
+type Ramp struct {
+	From    int64 // micro-rps
+	To      int64 // micro-rps
+	StartMs int64
+	EndMs   int64
+}
+
+func (c Ramp) Name() string { return "ramp" }
+func (c Ramp) Rate(tMs int64) int64 {
+	switch {
+	case tMs < c.StartMs:
+		return c.From
+	case tMs >= c.EndMs:
+		return c.To
+	default:
+		span := c.EndMs - c.StartMs
+		return c.From + (c.To-c.From)*(tMs-c.StartMs)/span
+	}
+}
+func (c Ramp) Phases(horizonMs int64) []Phase {
+	return []Phase{
+		{Name: "floor", FromMs: 0, ToMs: c.StartMs},
+		{Name: "ramp", FromMs: c.StartMs, ToMs: c.EndMs},
+		{Name: "plateau", FromMs: c.EndMs, ToMs: horizonMs},
+	}
+}
+
+// Diurnal is a triangle wave between Base and Peak with the given
+// period: rate climbs linearly for the first half-period and falls for
+// the second. A triangle instead of a sinusoid keeps the arithmetic
+// integer (goldens must not depend on math.Sin rounding).
+type Diurnal struct {
+	Base     int64 // micro-rps
+	Peak     int64 // micro-rps
+	PeriodMs int64
+}
+
+func (c Diurnal) Name() string { return "diurnal" }
+func (c Diurnal) Rate(tMs int64) int64 {
+	if c.PeriodMs <= 0 {
+		return c.Base
+	}
+	half := c.PeriodMs / 2
+	pos := tMs % c.PeriodMs
+	if pos >= half {
+		pos = c.PeriodMs - pos
+	}
+	return c.Base + (c.Peak-c.Base)*pos/half
+}
+func (c Diurnal) Phases(horizonMs int64) []Phase {
+	return []Phase{{Name: "diurnal", FromMs: 0, ToMs: horizonMs}}
+}
+
+// OverloadEndMs returns the end of the last Overload phase, or 0 when
+// the curve has none.
+func OverloadEndMs(c Curve, horizonMs int64) int64 {
+	var end int64
+	for _, p := range c.Phases(horizonMs) {
+		if p.Overload && p.ToMs > end {
+			end = p.ToMs
+		}
+	}
+	return end
+}
+
+// Schedule generates the open-loop arrival instants over [0,
+// horizonMs): a pure function of (seed, curve, horizonMs). Each virtual
+// millisecond contributes rate(t) nano-arrivals to an accumulator;
+// whole arrivals are emitted as they accrue and the fractional
+// remainder is resolved by a seeded Bernoulli draw, so the realized
+// schedule is an unbiased, seed-dependent sample of the curve while
+// staying integer end to end.
+func Schedule(seed uint64, c Curve, horizonMs int64) []int64 {
+	const nanoPerArrival = 1_000_000_000
+	rng := fuzzgen.NewRand(seed)
+	var out []int64
+	var acc int64
+	for t := int64(0); t < horizonMs; t++ {
+		// micro-rps x 1ms = nano-arrivals.
+		acc += c.Rate(t)
+		for acc >= nanoPerArrival {
+			acc -= nanoPerArrival
+			out = append(out, t)
+		}
+		// Dither the remainder: emit one extra arrival this ms with
+		// probability acc/1e9, consuming it from the accumulator.
+		if acc > 0 && int64(rng.Uint64()%nanoPerArrival) < acc {
+			acc -= nanoPerArrival
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Curves returns the registered curve names, in render order.
+func Curves() []string { return []string{"constant", "spike", "ramp", "diurnal"} }
+
+// CurveByName builds a curve from a name and the standard cell
+// parameters: base rate, peak rate, and the perturbation window. It is
+// the CLI's constructor; the phase diagram builds Spikes directly.
+func CurveByName(name string, base, peak int64, fromMs, toMs int64) (Curve, error) {
+	switch name {
+	case "constant":
+		return Constant{RPS: base}, nil
+	case "spike":
+		return Spike{Base: base, Peak: peak, FromMs: fromMs, ToMs: toMs}, nil
+	case "ramp":
+		return Ramp{From: base, To: peak, StartMs: fromMs, EndMs: toMs}, nil
+	case "diurnal":
+		return Diurnal{Base: base, Peak: peak, PeriodMs: toMs - fromMs}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown curve %q (have constant, spike, ramp, diurnal)", name)
+	}
+}

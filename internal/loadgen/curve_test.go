@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScheduleDeterministic pins that a schedule is a pure function of
+// (seed, curve, horizon) — the property every phase-diagram comparison
+// rests on — and that distinct seeds actually decorrelate the dither.
+func TestScheduleDeterministic(t *testing.T) {
+	c := Spike{Base: 300 * MicroRPS, Peak: 800 * MicroRPS, FromMs: 2000, ToMs: 4000}
+	a := Schedule(42, c, 10_000)
+	b := Schedule(42, c, 10_000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	other := Schedule(43, c, 10_000)
+	if reflect.DeepEqual(a, other) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleTracksCurve checks the realized arrival count stays close
+// to the curve's integral (the dither is unbiased) and that instants
+// are sorted within the horizon.
+func TestScheduleTracksCurve(t *testing.T) {
+	const horizon = 20_000
+	arr := Schedule(7, Constant{RPS: 300 * MicroRPS}, horizon)
+	want := 300 * horizon / 1000 // 6000
+	if n := len(arr); n < want*95/100 || n > want*105/100 {
+		t.Errorf("constant 300 rps over %d ms realized %d arrivals, want ~%d", horizon, n, want)
+	}
+	last := int64(-1)
+	for _, at := range arr {
+		if at < last {
+			t.Fatalf("schedule not sorted: %d after %d", at, last)
+		}
+		if at < 0 || at >= horizon {
+			t.Fatalf("arrival %d outside [0, %d)", at, horizon)
+		}
+		last = at
+	}
+
+	// A rate above 1000 rps emits whole arrivals every millisecond, not
+	// just dithered ones.
+	dense := Schedule(7, Constant{RPS: 2500 * MicroRPS}, 1000)
+	if n, want := len(dense), 2500; n < want*98/100 || n > want*102/100 {
+		t.Errorf("2500 rps over 1 s realized %d arrivals, want ~%d", n, want)
+	}
+}
+
+func TestCurveShapes(t *testing.T) {
+	spike := Spike{Base: 100, Peak: 900, FromMs: 10, ToMs: 20}
+	for _, tc := range []struct {
+		at   int64
+		want int64
+	}{{0, 100}, {9, 100}, {10, 900}, {19, 900}, {20, 100}} {
+		if got := spike.Rate(tc.at); got != tc.want {
+			t.Errorf("spike.Rate(%d) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+
+	ramp := Ramp{From: 0, To: 1000, StartMs: 0, EndMs: 1000}
+	prev := int64(-1)
+	for _, at := range []int64{0, 250, 500, 750, 999, 1000, 2000} {
+		got := ramp.Rate(at)
+		if got < prev {
+			t.Errorf("ramp.Rate(%d) = %d decreased below %d", at, got, prev)
+		}
+		prev = got
+	}
+	if got := ramp.Rate(500); got != 500 {
+		t.Errorf("ramp midpoint = %d, want 500", got)
+	}
+	if got := ramp.Rate(5000); got != 1000 {
+		t.Errorf("ramp plateau = %d, want 1000", got)
+	}
+
+	d := Diurnal{Base: 100, Peak: 500, PeriodMs: 1000}
+	if got := d.Rate(0); got != 100 {
+		t.Errorf("diurnal trough = %d, want 100", got)
+	}
+	if got := d.Rate(500); got != 500 {
+		t.Errorf("diurnal crest = %d, want 500", got)
+	}
+	if got := d.Rate(1000); got != 100 {
+		t.Errorf("diurnal wraparound = %d, want 100", got)
+	}
+	if a, b := d.Rate(250), d.Rate(750); a != b {
+		t.Errorf("triangle not symmetric: Rate(250)=%d Rate(750)=%d", a, b)
+	}
+	for at := int64(0); at < 2000; at += 50 {
+		if r := d.Rate(at); r < 100 || r > 500 {
+			t.Fatalf("diurnal.Rate(%d) = %d outside [base, peak]", at, r)
+		}
+	}
+}
+
+func TestOverloadEndMs(t *testing.T) {
+	spike := Spike{Base: 1, Peak: 2, FromMs: 10_000, ToMs: 20_000}
+	if got := OverloadEndMs(spike, 60_000); got != 20_000 {
+		t.Errorf("spike overload end = %d, want 20000", got)
+	}
+	if got := OverloadEndMs(Constant{RPS: 1}, 60_000); got != 0 {
+		t.Errorf("constant overload end = %d, want 0", got)
+	}
+}
+
+func TestCurveByName(t *testing.T) {
+	for _, name := range Curves() {
+		c, err := CurveByName(name, 100*MicroRPS, 500*MicroRPS, 1000, 2000)
+		if err != nil {
+			t.Fatalf("CurveByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("CurveByName(%q).Name() = %q", name, c.Name())
+		}
+		if len(c.Phases(10_000)) == 0 {
+			t.Errorf("curve %q has no phases", name)
+		}
+	}
+	if _, err := CurveByName("sawtooth", 1, 2, 0, 1); err == nil || !strings.Contains(err.Error(), "unknown curve") {
+		t.Errorf("unknown curve error = %v", err)
+	}
+}

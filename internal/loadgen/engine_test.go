@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestEngineRejectsBadConfig(t *testing.T) {
+	policy := Naive{MaxAttempts: 2}
+	cases := []struct {
+		name string
+		cfg  EngineConfig
+		want string
+	}{
+		{"no curve", EngineConfig{HorizonMs: 1000, Client: ClientConfig{Policy: policy}}, "needs a curve"},
+		{"no policy", EngineConfig{Curve: Constant{RPS: MicroRPS}, HorizonMs: 1000}, "needs a retry policy"},
+		{"no horizon", EngineConfig{Curve: Constant{RPS: MicroRPS}, Client: ClientConfig{Policy: policy}}, "horizon must be positive"},
+		{"bad mode", EngineConfig{Curve: Constant{RPS: MicroRPS}, HorizonMs: 1000,
+			Client: ClientConfig{Policy: policy, Mode: "ajar"}}, "unknown client mode"},
+		{"closed without clients", EngineConfig{Curve: Constant{RPS: MicroRPS}, HorizonMs: 1000,
+			Client: ClientConfig{Policy: policy, Mode: ModeClosed}}, "needs clients"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Run = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEngineStableUnderload pins the control cell: offered load well
+// under capacity completes everything in deadline, with no retries and
+// no queue growth.
+func TestEngineStableUnderload(t *testing.T) {
+	stats, err := Run(EngineConfig{
+		Seed:      1,
+		Curve:     Constant{RPS: 100 * MicroRPS},
+		HorizonMs: 10_000,
+		Server:    ServerConfig{Workers: 4, QueueCap: 200, ServiceMs: 10},
+		Client:    ClientConfig{Policy: Naive{MaxAttempts: 4}, TimeoutMs: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := stats.Totals
+	if tot.Timeouts != 0 || tot.RejectQueue != 0 || tot.GiveUps != 0 {
+		t.Errorf("underloaded cell saw failures: %+v", tot)
+	}
+	if tot.Attempts != tot.Arrivals {
+		t.Errorf("attempts %d != arrivals %d: retries on an idle server", tot.Attempts, tot.Arrivals)
+	}
+	// Arrivals in the last service interval may complete past the
+	// horizon; everything else must land as goodput.
+	if tot.Goodput < tot.Arrivals-5 {
+		t.Errorf("goodput %d vs arrivals %d", tot.Goodput, tot.Arrivals)
+	}
+	if stats.P99Ms > 50 {
+		t.Errorf("P99 = %.1f ms on an idle server", stats.P99Ms)
+	}
+}
+
+// TestEngineDeterministic pins bit-identical stats for identical
+// configs, in both client modes.
+func TestEngineDeterministic(t *testing.T) {
+	open := EngineConfig{
+		Seed:      42,
+		Curve:     Spike{Base: 300 * MicroRPS, Peak: 800 * MicroRPS, FromMs: 2000, ToMs: 4000},
+		HorizonMs: 8_000,
+		Server:    ServerConfig{Workers: 4, QueueCap: 200, ServiceMs: 10},
+		Client:    ClientConfig{Policy: Naive{MaxAttempts: 4}, TimeoutMs: 300},
+	}
+	a, err := Run(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("open-loop: identical configs produced different stats")
+	}
+
+	closed := open
+	closed.Client.Mode = ModeClosed
+	closed.Client.Clients = 50
+	closed.Client.ThinkMs = 20
+	c1, err := Run(closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Run(closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Error("closed-loop: identical configs produced different stats")
+	}
+	if c1.Totals.Arrivals == 0 || c1.Totals.Goodput == 0 {
+		t.Errorf("closed-loop population did no work: %+v", c1.Totals)
+	}
+}
+
+// TestEngineClosedLoopSelfClocks pins the defining closed-loop
+// property: the population cannot offer more than clients/(service +
+// think) sessions per second, so overload shows up as latency, not as
+// an unbounded arrival backlog.
+func TestEngineClosedLoopSelfClocks(t *testing.T) {
+	stats, err := Run(EngineConfig{
+		Seed:      7,
+		Curve:     Constant{RPS: 0}, // closed loop ignores the curve's schedule
+		HorizonMs: 10_000,
+		Server:    ServerConfig{Workers: 2, QueueCap: 50, ServiceMs: 10},
+		Client: ClientConfig{
+			Mode: ModeClosed, Clients: 20, ThinkMs: 50,
+			Policy: Naive{MaxAttempts: 2}, TimeoutMs: 300,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 clients cycling at >= 60 ms (10 service + 50 think) is at most
+	// ~333 sessions/sec; with capacity 200/s the server saturates but
+	// the closed loop cannot storm past its population.
+	maxRate := int64(20 * 10_000 / 60)
+	if stats.Totals.Arrivals > maxRate {
+		t.Errorf("closed loop offered %d sessions, above the population ceiling %d", stats.Totals.Arrivals, maxRate)
+	}
+	if stats.Totals.Goodput == 0 {
+		t.Error("no goodput from a modest closed-loop population")
+	}
+}
+
+func TestEngineEventBudgetExhaustion(t *testing.T) {
+	_, err := Run(EngineConfig{
+		Seed:      1,
+		Curve:     Constant{RPS: 500 * MicroRPS},
+		HorizonMs: 10_000,
+		MaxEvents: 50,
+		Server:    ServerConfig{Workers: 1, QueueCap: 10, ServiceMs: 10},
+		Client:    ClientConfig{Policy: Naive{MaxAttempts: 4}, TimeoutMs: 300},
+		Label:     "tiny-budget",
+	})
+	if err == nil || !strings.Contains(err.Error(), "event budget") {
+		t.Errorf("Run = %v, want event-budget exhaustion error", err)
+	}
+}
+
+// TestEngineObservability pins the obs wiring: per-cell counters land
+// in the shared registry and per-phase spans open and close with the
+// overload attribute on the spike.
+func TestEngineObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(nil)
+	stats, err := Run(EngineConfig{
+		Seed:      42,
+		Curve:     Spike{Base: 300 * MicroRPS, Peak: 800 * MicroRPS, FromMs: 1000, ToMs: 2000},
+		HorizonMs: 4_000,
+		Server:    ServerConfig{Workers: 4, QueueCap: 200, ServiceMs: 10},
+		Client:    ClientConfig{Policy: Naive{MaxAttempts: 4}, TimeoutMs: 300},
+		Label:     "obs-cell",
+		Tracer:    tr,
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(obs.MetricLoadAttempts, "cell", "obs-cell").Value(); got != stats.Totals.Attempts {
+		t.Errorf("%s = %d, want %d", obs.MetricLoadAttempts, got, stats.Totals.Attempts)
+	}
+	if got := reg.Counter(obs.MetricLoadGoodput, "cell", "obs-cell").Value(); got != stats.Totals.Goodput {
+		t.Errorf("%s = %d, want %d", obs.MetricLoadGoodput, got, stats.Totals.Goodput)
+	}
+
+	want := map[string]bool{"load/pre-spike": false, "load/spike": false, "load/post-spike": false}
+	for _, sp := range tr.Snapshot() {
+		if _, ok := want[sp.Name]; !ok {
+			continue
+		}
+		want[sp.Name] = true
+		if sp.EndMs < 0 {
+			t.Errorf("span %s never ended", sp.Name)
+		}
+		overload := false
+		for _, a := range sp.Attrs {
+			if a.Key == "overload" && a.Value == "true" {
+				overload = true
+			}
+		}
+		if overload != (sp.Name == "load/spike") {
+			t.Errorf("span %s overload attr = %v", sp.Name, overload)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("missing phase span %s", name)
+		}
+	}
+}

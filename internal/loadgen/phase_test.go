@@ -1,0 +1,196 @@
+package loadgen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenSeed pins the sweep every golden and headline assertion runs;
+// the CI loadgen-smoke job asserts the same report.
+const goldenSeed = 42
+
+var (
+	phaseOnce sync.Once
+	phaseRes  *PhaseResult
+	phaseErr  error
+)
+
+// stdPhase runs the full seed-42 sweep once per test binary; the golden,
+// headline, and schedule-sharing tests all read the same result.
+func stdPhase(t *testing.T) *PhaseResult {
+	t.Helper()
+	phaseOnce.Do(func() {
+		phaseRes, phaseErr = RunPhaseDiagram(PhaseOptions{Seed: goldenSeed})
+	})
+	if phaseErr != nil {
+		t.Fatal(phaseErr)
+	}
+	return phaseRes
+}
+
+// TestGoldenPhaseDiagram pins the full seed-42 phase diagram byte for
+// byte. Any drift in the arrival dither, the retry policies, the
+// breaker, the server model, the classifier thresholds, or the renderer
+// shows up as a golden diff (regenerate deliberately with -update).
+func TestGoldenPhaseDiagram(t *testing.T) {
+	res := stdPhase(t)
+	got := res.Render()
+	path := filepath.Join("testdata", "phase_seed42.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("phase diagram drifted from golden (regenerate deliberately with -update):\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if res.Hash() != core.HashBytes([]byte(got)) {
+		t.Error("Hash() must be the hash of the rendered report")
+	}
+}
+
+// TestCollapseVsRecoveryHeadline is the experiment the engine exists
+// for: on the byte-identical arrival schedule, naive retries keep the
+// system collapsed for the entire 40 s after the 10 s spike ends, while
+// capped backoff + jitter + a circuit breaker recovers.
+func TestCollapseVsRecoveryHeadline(t *testing.T) {
+	res := stdPhase(t)
+	for _, peak := range []int64{800, 1600} {
+		naive := res.CellAt("naive", peak)
+		defended := res.CellAt("backoff+jitter+breaker", peak)
+		if naive == nil || defended == nil {
+			t.Fatalf("peak %d: missing headline cells", peak)
+		}
+
+		// Identical offered load, window by window: the only difference
+		// between the two cells is client retry behaviour.
+		for i := range naive.Stats.Windows {
+			if a, b := naive.Stats.Windows[i].Arrivals, defended.Stats.Windows[i].Arrivals; a != b {
+				t.Fatalf("peak %d window %d: arrival schedules diverged (%d vs %d)", peak, i, a, b)
+			}
+		}
+
+		if naive.Classification.Class != ClassMetastable {
+			t.Errorf("naive@%d = %s, want %s", peak, naive.Classification.Class, ClassMetastable)
+		}
+		if got := naive.Classification.TailCollapsed; got != tailWindows {
+			t.Errorf("naive@%d tail collapsed = %d, want %d: collapse must persist to the horizon", peak, got, tailWindows)
+		}
+		if amp := naive.Classification.PostAmplification; amp < stormAmplification {
+			t.Errorf("naive@%d post amplification = %.2f, want >= %.1f", peak, amp, stormAmplification)
+		}
+		sigs := strings.Join(naive.Classification.Signatures, " ")
+		if !strings.Contains(sigs, SigMetastableCollapse) || !strings.Contains(sigs, SigRetryStorm) {
+			t.Errorf("naive@%d signatures = %q, want collapse + storm", peak, sigs)
+		}
+
+		if defended.Classification.Class != ClassRecovering {
+			t.Errorf("backoff+jitter+breaker@%d = %s, want %s", peak, defended.Classification.Class, ClassRecovering)
+		}
+		if got := defended.Classification.TailCollapsed; got != 0 {
+			t.Errorf("backoff+jitter+breaker@%d tail collapsed = %d, want 0", peak, got)
+		}
+		if q := defended.Stats.Totals.QueueLen; q != 0 {
+			t.Errorf("backoff+jitter+breaker@%d final queue = %d, want drained", peak, q)
+		}
+		if defended.Stats.Totals.Goodput < 4*naive.Stats.Totals.Goodput {
+			t.Errorf("peak %d: defended goodput %d not >= 4x naive %d",
+				peak, defended.Stats.Totals.Goodput, naive.Stats.Totals.Goodput)
+		}
+		if defended.Stats.BreakerOpens == 0 {
+			t.Errorf("backoff+jitter+breaker@%d recovered without the breaker ever opening", peak)
+		}
+	}
+
+	// The sub-capacity control column stays stable in every row.
+	for _, policy := range res.Policies {
+		if c := res.CellAt(policy, 350); c == nil || c.Classification.Class != ClassStable {
+			t.Errorf("%s@350 not stable", policy)
+		}
+	}
+	// Backoff alone — even jittered — is not enough without the breaker:
+	// the retry horizon outlives the spike and keeps the queue pinned.
+	for _, policy := range []string{"backoff", "backoff+jitter"} {
+		if c := res.CellAt(policy, 800); c == nil || c.Classification.Class != ClassMetastable {
+			t.Errorf("%s@800 should stay metastable without a breaker", policy)
+		}
+	}
+}
+
+// TestPhaseParallelDeterminism pins bit-identical reports across
+// worker counts: the CI smoke job diffs -parallel 1 against 4.
+func TestPhaseParallelDeterminism(t *testing.T) {
+	seq := stdPhase(t) // Parallel default 1
+	par, err := RunPhaseDiagram(PhaseOptions{Seed: goldenSeed, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Render() != par.Render() {
+		t.Error("report differs between Parallel 1 and 4")
+	}
+	if seq.Hash() != par.Hash() {
+		t.Error("hash differs between Parallel 1 and 4")
+	}
+}
+
+// TestAdmissionRescuesNaive pins the server-side half of the story:
+// token-bucket admission control turns the naive client's metastable
+// cells into recovering ones by rejecting cheaply at the door instead
+// of queueing into the timeout zone.
+func TestAdmissionRescuesNaive(t *testing.T) {
+	res, err := RunPhaseDiagram(PhaseOptions{
+		Seed: goldenSeed, Admission: true,
+		Policies: []string{"naive"}, PeakRPS: []int64{800},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := res.CellAt("naive", 800)
+	if cell == nil {
+		t.Fatal("missing cell")
+	}
+	if cell.Classification.Class != ClassRecovering {
+		t.Errorf("naive@800 with admission = %s, want %s", cell.Classification.Class, ClassRecovering)
+	}
+	if cell.Stats.Totals.RejectThrottle == 0 {
+		t.Error("admission control never throttled during a 2x-capacity spike")
+	}
+	bare := stdPhase(t).CellAt("naive", 800)
+	if cell.Stats.Totals.Goodput < 4*bare.Stats.Totals.Goodput {
+		t.Errorf("admission goodput %d not >= 4x undefended %d",
+			cell.Stats.Totals.Goodput, bare.Stats.Totals.Goodput)
+	}
+}
+
+func TestPhaseDiagramErrors(t *testing.T) {
+	if _, err := RunPhaseDiagram(PhaseOptions{Policies: []string{"yolo"}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("unknown policy error = %v", err)
+	}
+	if _, err := RunPhaseDiagram(PhaseOptions{PeakRPS: []int64{0}}); err == nil ||
+		!strings.Contains(err.Error(), "must be positive") {
+		t.Errorf("bad peak error = %v", err)
+	}
+}
+
+func TestCellAt(t *testing.T) {
+	res := stdPhase(t)
+	if res.CellAt("naive", 12345) != nil || res.CellAt("nope", 800) != nil {
+		t.Error("CellAt returned a cell for an unknown coordinate")
+	}
+}

@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"repro/internal/fuzzgen"
+)
+
+// RetryPolicy decides how a session reacts to a failed attempt.
+// Implementations must be stateless value types: one policy instance
+// is shared by every session in a population, and any randomness must
+// come from the session's own rng so cells stay deterministic.
+type RetryPolicy interface {
+	Name() string
+	// Delay returns the wait in virtual ms before attempt+1, or -1 to
+	// give up. attempt counts the attempts already made (>= 1).
+	// retryAfterMs is the server's Retry-After hint (0 = none); whether
+	// it is honored is the policy's choice.
+	Delay(attempt int, retryAfterMs int64, rng *fuzzgen.Rand) int64
+	// Jittered reports whether the policy decorrelates retries. The
+	// classifier uses it to attribute synchronized retry bursts.
+	Jittered() bool
+}
+
+// Naive retries immediately (next virtual millisecond) up to
+// MaxAttempts total attempts, ignoring any Retry-After hint — the
+// client the metastability literature warns about.
+type Naive struct {
+	MaxAttempts int
+}
+
+func (p Naive) Name() string   { return "naive" }
+func (p Naive) Jittered() bool { return false }
+func (p Naive) Delay(attempt int, retryAfterMs int64, rng *fuzzgen.Rand) int64 {
+	if attempt >= p.MaxAttempts {
+		return -1
+	}
+	return 1 // "immediate": the next event-loop instant
+}
+
+// CappedBackoff waits base*2^(attempt-1) capped at CapMs. FullJitter
+// draws the actual delay uniformly from [1, d] (the AWS "full jitter"
+// variant); HonorRetryAfter raises the floor to the server's hint
+// before jittering.
+type CappedBackoff struct {
+	BaseMs          int64
+	CapMs           int64
+	MaxAttempts     int
+	FullJitter      bool
+	HonorRetryAfter bool
+}
+
+func (p CappedBackoff) Name() string {
+	name := "backoff"
+	if p.FullJitter {
+		name += "-jitter"
+	}
+	return name
+}
+
+func (p CappedBackoff) Jittered() bool { return p.FullJitter }
+
+func (p CappedBackoff) Delay(attempt int, retryAfterMs int64, rng *fuzzgen.Rand) int64 {
+	if attempt >= p.MaxAttempts {
+		return -1
+	}
+	d := p.CapMs
+	if shift := attempt - 1; shift < 32 && p.BaseMs<<shift < p.CapMs {
+		d = p.BaseMs << shift
+	}
+	if p.HonorRetryAfter && retryAfterMs > d {
+		d = retryAfterMs
+	}
+	if d < 1 {
+		d = 1
+	}
+	if p.FullJitter {
+		d = 1 + int64(rng.Intn(int(d)))
+	}
+	return d
+}
+
+// PolicySpec pairs a retry policy with the breaker setting for one
+// phase-diagram row: the policy axis of the diagram is really
+// (retry behaviour, breaker on/off).
+type PolicySpec struct {
+	Label   string
+	Policy  RetryPolicy
+	Breaker BreakerConfig
+}
+
+// defaultBreaker is the breaker used by every *-breaker row: open
+// after 5 consecutive failures, probe after 2 virtual seconds.
+func defaultBreaker() BreakerConfig {
+	return BreakerConfig{Enabled: true, FailThreshold: 5, OpenMs: 2000}
+}
+
+// Policies returns the phase-diagram rows, in render order: the naive
+// client, the naive client saved by a breaker, capped backoff without
+// and with full jitter, and the full defensive stack.
+func Policies() []PolicySpec {
+	naive := Naive{MaxAttempts: 4}
+	backoff := CappedBackoff{BaseMs: 50, CapMs: 5000, MaxAttempts: 6, HonorRetryAfter: true}
+	jittered := backoff
+	jittered.FullJitter = true
+	return []PolicySpec{
+		{Label: "naive", Policy: naive},
+		{Label: "naive+breaker", Policy: naive, Breaker: defaultBreaker()},
+		{Label: "backoff", Policy: backoff},
+		{Label: "backoff+jitter", Policy: jittered},
+		{Label: "backoff+jitter+breaker", Policy: jittered, Breaker: defaultBreaker()},
+	}
+}
+
+// PolicyByLabel resolves one phase-diagram row by its label.
+func PolicyByLabel(label string) (PolicySpec, error) {
+	for _, p := range Policies() {
+		if p.Label == label {
+			return p, nil
+		}
+	}
+	return PolicySpec{}, fmt.Errorf("loadgen: unknown policy %q (have %s)", label, PolicyLabels())
+}
+
+// PolicyLabels renders the row labels, comma-joined, for error text and
+// CLI help.
+func PolicyLabels() string {
+	s := ""
+	for i, p := range Policies() {
+		if i > 0 {
+			s += ","
+		}
+		s += p.Label
+	}
+	return s
+}

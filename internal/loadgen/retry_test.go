@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fuzzgen"
+)
+
+func TestNaiveDelays(t *testing.T) {
+	p := Naive{MaxAttempts: 4}
+	rng := fuzzgen.NewRand(1)
+	for attempt := 1; attempt <= 3; attempt++ {
+		if d := p.Delay(attempt, 500, rng); d != 1 {
+			t.Errorf("naive Delay(attempt=%d) = %d, want 1 (ignores Retry-After)", attempt, d)
+		}
+	}
+	if d := p.Delay(4, 0, rng); d != -1 {
+		t.Errorf("naive Delay at MaxAttempts = %d, want -1 (give up)", d)
+	}
+	if p.Jittered() {
+		t.Error("naive must report Jittered() == false")
+	}
+}
+
+func TestCappedBackoffDoubling(t *testing.T) {
+	p := CappedBackoff{BaseMs: 50, CapMs: 5000, MaxAttempts: 6}
+	rng := fuzzgen.NewRand(1)
+	want := []int64{50, 100, 200, 400, 800}
+	for i, w := range want {
+		if d := p.Delay(i+1, 0, rng); d != w {
+			t.Errorf("backoff Delay(attempt=%d) = %d, want %d", i+1, d, w)
+		}
+	}
+	if d := p.Delay(6, 0, rng); d != -1 {
+		t.Errorf("backoff Delay at MaxAttempts = %d, want -1", d)
+	}
+
+	capped := CappedBackoff{BaseMs: 50, CapMs: 120, MaxAttempts: 10}
+	if d := capped.Delay(5, 0, rng); d != 120 {
+		t.Errorf("capped Delay(attempt=5) = %d, want the 120 ms cap", d)
+	}
+	// The shift guard: absurd attempt counts must not overflow into a
+	// negative or tiny delay.
+	if d := capped.Delay(9, 0, rng); d != 120 {
+		t.Errorf("capped Delay(attempt=9) = %d, want 120", d)
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	rng := fuzzgen.NewRand(1)
+	honoring := CappedBackoff{BaseMs: 50, CapMs: 5000, MaxAttempts: 6, HonorRetryAfter: true}
+	if d := honoring.Delay(1, 700, rng); d != 700 {
+		t.Errorf("honoring policy Delay with hint 700 = %d, want 700 (hint raises the floor)", d)
+	}
+	if d := honoring.Delay(5, 700, rng); d != 800 {
+		t.Errorf("honoring policy Delay(attempt=5) with hint 700 = %d, want 800 (own backoff already higher)", d)
+	}
+	ignoring := CappedBackoff{BaseMs: 50, CapMs: 5000, MaxAttempts: 6}
+	if d := ignoring.Delay(1, 700, rng); d != 50 {
+		t.Errorf("non-honoring policy Delay with hint = %d, want 50", d)
+	}
+}
+
+// TestFullJitterBounds pins the AWS full-jitter contract: the realized
+// delay is uniform on [1, d], never zero, never above the deterministic
+// delay — and actually varies (that is the whole point).
+func TestFullJitterBounds(t *testing.T) {
+	p := CappedBackoff{BaseMs: 400, CapMs: 5000, MaxAttempts: 6, FullJitter: true}
+	rng := fuzzgen.NewRand(99)
+	seen := map[int64]bool{}
+	for i := 0; i < 500; i++ {
+		d := p.Delay(1, 0, rng)
+		if d < 1 || d > 400 {
+			t.Fatalf("jittered delay %d outside [1, 400]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 50 {
+		t.Errorf("500 jittered draws produced only %d distinct delays; jitter is not spreading", len(seen))
+	}
+	if !p.Jittered() {
+		t.Error("full-jitter policy must report Jittered() == true")
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	specs := Policies()
+	if len(specs) != 5 {
+		t.Fatalf("Policies() = %d rows, want 5", len(specs))
+	}
+	for _, spec := range specs {
+		got, err := PolicyByLabel(spec.Label)
+		if err != nil {
+			t.Fatalf("PolicyByLabel(%q): %v", spec.Label, err)
+		}
+		if got.Label != spec.Label {
+			t.Errorf("round trip %q -> %q", spec.Label, got.Label)
+		}
+		hasBreaker := strings.HasSuffix(spec.Label, "+breaker")
+		if spec.Breaker.Enabled != hasBreaker {
+			t.Errorf("%q: breaker enabled = %v, want %v", spec.Label, spec.Breaker.Enabled, hasBreaker)
+		}
+	}
+	if _, err := PolicyByLabel("yolo"); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("unknown label error = %v", err)
+	}
+	if labels := PolicyLabels(); !strings.Contains(labels, "backoff+jitter+breaker") {
+		t.Errorf("PolicyLabels() = %q missing the defensive stack", labels)
+	}
+}

@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestCapacityRPS(t *testing.T) {
+	if got := (ServerConfig{Workers: 4, ServiceMs: 10}).CapacityRPS(); got != 400 {
+		t.Errorf("4 workers x 10 ms = %d rps, want 400", got)
+	}
+	if got := (ServerConfig{}).CapacityRPS(); got != 0 {
+		t.Errorf("zero config capacity = %d, want 0", got)
+	}
+}
+
+func TestServerServiceLatencyAndFIFO(t *testing.T) {
+	sim := vclock.New()
+	srv := NewSimServer(sim, ServerConfig{Workers: 1, QueueCap: 10, ServiceMs: 10})
+	var order []int
+	var times []int64
+	for i := 0; i < 3; i++ {
+		i := i
+		if rej := srv.Submit(func(at int64) { order = append(order, i); times = append(times, at) }); rej != nil {
+			t.Fatalf("submit %d rejected: %+v", i, rej)
+		}
+	}
+	sim.Run(1000)
+	if want := []int{0, 1, 2}; len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("completion order %v, want %v", order, want)
+	}
+	// One worker, 10 ms service: completions at 10, 20, 30.
+	for i, want := range []int64{10, 20, 30} {
+		if times[i] != want {
+			t.Errorf("completion %d at %d ms, want %d", i, times[i], want)
+		}
+	}
+	if srv.Served != 3 {
+		t.Errorf("Served = %d, want 3", srv.Served)
+	}
+}
+
+func TestServerQueueFullRejection(t *testing.T) {
+	sim := vclock.New()
+	srv := NewSimServer(sim, ServerConfig{Workers: 2, QueueCap: 3, ServiceMs: 10})
+	admitted := 0
+	// 2 go straight to workers, 3 queue, the rest must bounce.
+	var rej *Rejection
+	for i := 0; i < 7; i++ {
+		if r := srv.Submit(func(int64) {}); r != nil {
+			rej = r
+		} else {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("admitted %d, want 5 (2 executing + 3 queued)", admitted)
+	}
+	if rej == nil || rej.Reason != ReasonQueueFull {
+		t.Fatalf("rejection = %+v, want reason %q", rej, ReasonQueueFull)
+	}
+	// Hint: (queue 3 + 1) x 10 ms / 2 workers = 20 ms.
+	if rej.RetryAfterMs != 20 {
+		t.Errorf("RetryAfterMs = %d, want 20", rej.RetryAfterMs)
+	}
+	if got := srv.QueueLen(); got != 3 {
+		t.Errorf("QueueLen = %d, want 3", got)
+	}
+}
+
+// TestServerWastedWorkChannel pins the property metastability feeds on:
+// the server completes every admitted request and fires done, whether
+// or not a client still cares.
+func TestServerWastedWorkChannel(t *testing.T) {
+	sim := vclock.New()
+	srv := NewSimServer(sim, ServerConfig{Workers: 1, QueueCap: 50, ServiceMs: 10})
+	done := 0
+	admitted := 0
+	for i := 0; i < 40; i++ {
+		if srv.Submit(func(int64) { done++ }) == nil {
+			admitted++
+		}
+	}
+	sim.Run(10_000)
+	if done != admitted {
+		t.Errorf("done fired %d times for %d admitted requests", done, admitted)
+	}
+}
+
+func TestServerTokenBucket(t *testing.T) {
+	sim := vclock.New()
+	// 100 tokens/sec, burst 5: five immediate admissions, then throttle.
+	srv := NewSimServer(sim, ServerConfig{
+		Workers: 8, QueueCap: 100, ServiceMs: 1,
+		TokenRate: 100 * MicroRPS, TokenBurst: 5,
+	})
+	for i := 0; i < 5; i++ {
+		if rej := srv.Submit(func(int64) {}); rej != nil {
+			t.Fatalf("burst submit %d rejected: %+v", i, rej)
+		}
+	}
+	rej := srv.Submit(func(int64) {})
+	if rej == nil || rej.Reason != ReasonThrottled {
+		t.Fatalf("rejection = %+v, want reason %q", rej, ReasonThrottled)
+	}
+	// 100 tokens/sec = one token per 10 ms.
+	if rej.RetryAfterMs != 10 {
+		t.Errorf("throttle hint = %d ms, want 10", rej.RetryAfterMs)
+	}
+
+	// After the hinted wait the bucket has refilled exactly one token.
+	fired := false
+	sim.After(rej.RetryAfterMs, func() {
+		if r := srv.Submit(func(int64) {}); r != nil {
+			t.Errorf("submit after hinted wait rejected: %+v", r)
+		}
+		if r := srv.Submit(func(int64) {}); r == nil || r.Reason != ReasonThrottled {
+			t.Errorf("second submit in the same ms = %+v, want throttled", r)
+		}
+		fired = true
+	})
+	sim.Run(1000)
+	if !fired {
+		t.Fatal("timer never fired")
+	}
+}

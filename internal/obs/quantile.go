@@ -1,0 +1,81 @@
+package obs
+
+import "math"
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of a histogram by
+// linear interpolation inside the bucket the target rank lands in —
+// the same estimator as PromQL's histogram_quantile, adapted to the
+// registry's inclusive (`le`) fixed buckets.
+//
+// Conventions at the edges:
+//   - an empty (or nil) histogram returns NaN — there is no data, and
+//     0 would be a lie in a latency report;
+//   - a rank landing in the +Inf bucket returns the highest finite
+//     bound (the estimator cannot extrapolate past the last edge);
+//   - q <= 0 returns 0 (the histogram's implicit lower bound) and
+//     q >= 1 degenerates to the last occupied bucket's upper bound.
+//
+// Interpolation assumes observations are uniform within a bucket, so
+// a rank exactly at a bucket's cumulative count lands on the bucket's
+// upper bound — the exact-bucket-edge property the tests pin.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	bounds, counts, _, _, total := h.snapshot()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if rank > cum {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: clamp to the largest finite edge.
+			if len(bounds) == 0 {
+				return math.NaN()
+			}
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lower + (upper-lower)*frac
+	}
+	// rank == total fell through floating-point comparison; return the
+	// last occupied bucket's upper bound.
+	for i := len(counts) - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			if i >= len(bounds) {
+				if len(bounds) == 0 {
+					return math.NaN()
+				}
+				return bounds[len(bounds)-1]
+			}
+			return bounds[i]
+		}
+	}
+	return math.NaN()
+}

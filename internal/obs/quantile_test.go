@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func quantileHist(t *testing.T, obs ...float64) *Histogram {
+	t.Helper()
+	h := NewRegistry().Histogram("q_test", []float64{10, 20, 50, 100})
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	return h
+}
+
+// TestQuantileEmptyAndNil pins the no-data convention: NaN, never a
+// fabricated 0 in a latency report.
+func TestQuantileEmptyAndNil(t *testing.T) {
+	if got := quantileHist(t).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram P50 = %v, want NaN", got)
+	}
+	var h *Histogram
+	if got := h.Quantile(0.99); !math.IsNaN(got) {
+		t.Errorf("nil histogram P99 = %v, want NaN", got)
+	}
+}
+
+// TestQuantileExactBucketEdge pins the inclusive-bound convention: a
+// rank landing exactly on a bucket's cumulative count interpolates to
+// that bucket's upper edge.
+func TestQuantileExactBucketEdge(t *testing.T) {
+	// 4 observations in (0,10], 4 in (10,20]: P50's rank (4) is exactly
+	// the first bucket's cumulative count, so P50 is its upper bound.
+	h := quantileHist(t, 1, 2, 3, 4, 11, 12, 13, 14)
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("P50 = %v, want exactly the bucket edge 10", got)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Errorf("P100 = %v, want the last occupied bucket's bound 20", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("P0 = %v, want the implicit lower bound 0", got)
+	}
+}
+
+// TestQuantileInterpolates pins the PromQL-style linear interpolation
+// inside a bucket.
+func TestQuantileInterpolates(t *testing.T) {
+	// All 10 observations in (20,50]: P50's rank is halfway through the
+	// bucket, so the estimate is its midpoint.
+	obs := make([]float64, 10)
+	for i := range obs {
+		obs[i] = 30
+	}
+	h := quantileHist(t, obs...)
+	if got := h.Quantile(0.5); got != 35 {
+		t.Errorf("P50 = %v, want midpoint 35 of (20,50]", got)
+	}
+	if got := h.Quantile(0.1); got != 23 {
+		t.Errorf("P10 = %v, want 23 (10%% into (20,50])", got)
+	}
+}
+
+// TestQuantileOverflowBucket pins the +Inf clamp: ranks past the last
+// finite edge return that edge rather than extrapolating.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := quantileHist(t, 5, 500, 900)
+	if got := h.Quantile(0.99); got != 100 {
+		t.Errorf("P99 = %v, want the largest finite bound 100", got)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := h.Quantile(1.5); got != 100 {
+		t.Errorf("q=1.5 = %v, want 100", got)
+	}
+	if got := h.Quantile(-0.5); got != quantileHist(t, 5, 500, 900).Quantile(0) {
+		t.Errorf("q=-0.5 = %v, want the q=0 value", got)
+	}
+}
+
+// TestQuantileMonotone: quantiles never decrease in q.
+func TestQuantileMonotone(t *testing.T) {
+	h := quantileHist(t, 1, 5, 12, 18, 25, 40, 60, 95, 150, 300)
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%0.2f) = %v < Quantile(prev) = %v", q, got, prev)
+		}
+		prev = got
+	}
+}

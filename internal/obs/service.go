@@ -40,6 +40,20 @@ const (
 	// MetricPartitionCuts counts fabric link cuts applied by partition
 	// campaigns, labelled by scenario.
 	MetricPartitionCuts = "partition_cuts_total"
+	// MetricAdmissionRejections counts submissions the scheduler's
+	// admission layer refused before any work was done, labelled by
+	// reason ("queue_full", "throttled"). A strict subset of
+	// MetricJobsRejected: invalid and draining rejections are not
+	// admission pressure.
+	MetricAdmissionRejections = "crossd_admission_rejections_total"
+	// The loadgen workload-engine metrics, labelled by phase-diagram
+	// cell: client attempts (first tries plus retries), in-deadline
+	// completions, admission rejections by reason, and the
+	// user-perceived session latency histogram.
+	MetricLoadAttempts  = "loadgen_attempts_total"
+	MetricLoadGoodput   = "loadgen_goodput_total"
+	MetricLoadRejected  = "loadgen_rejected_total"
+	MetricLoadLatencyMs = "loadgen_latency_ms"
 )
 
 // The stages of the crossd job pipeline, in order: admission queue

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// stormRunner wedges every admitted job until the gate is closed — the
+// deterministic stand-in for a saturated executor during an overload.
+// started (when non-nil) receives one token per Execute entry, so tests
+// can wait until the worker pool is provably wedged before filling the
+// queue.
+type stormRunner struct {
+	gate    chan struct{}
+	started chan struct{}
+}
+
+func (r *stormRunner) Execute(ctx context.Context, spec JobSpec, _ func(core.Failure)) (*JobResult, error) {
+	if r.started != nil {
+		r.started <- struct{}{}
+	}
+	select {
+	case <-r.gate:
+		key, err := spec.CacheKey()
+		if err != nil {
+			return nil, err
+		}
+		return &JobResult{Key: key, Kind: spec.Kind, Spec: spec, Rendered: "storm", ReportSHA: core.HashBytes([]byte("storm"))}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TestAdmissionThrottleSheds pins the token-bucket layer: sustained
+// submission above AdmitRatePerSec is rejected with ErrThrottled before
+// any cache or queue work, counted under the admission-rejections
+// metric, and recorded by the flight recorder. Time then refills the
+// bucket.
+func TestAdmissionThrottleSheds(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(128)
+	runner := &stormRunner{gate: make(chan struct{})}
+	defer close(runner.gate)
+	s, _ := newTestScheduler(t, SchedulerOptions{
+		Workers: 2, QueueDepth: 16, Executor: runner,
+		AdmitRatePerSec: 2, AdmitBurst: 2,
+		Metrics: reg, Recorder: rec,
+	})
+
+	var throttled int
+	for i := 0; i < 5; i++ {
+		_, err := s.Submit(JobSpec{Kind: KindFuzz, Seed: uint64(200 + i), N: 10})
+		switch err {
+		case nil:
+		case ErrThrottled:
+			throttled++
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if throttled != 3 {
+		t.Fatalf("burst of 5 against bucket of 2: throttled %d, want 3", throttled)
+	}
+	if got := reg.Counter(obs.MetricAdmissionRejections, "reason", "throttled").Value(); got != 3 {
+		t.Errorf("%s{throttled} = %d, want 3", obs.MetricAdmissionRejections, got)
+	}
+	var recorded int
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvJobRejected && ev.Detail == "throttled" {
+			recorded++
+		}
+	}
+	if recorded != 3 {
+		t.Errorf("flight recorder holds %d throttle rejections, want 3", recorded)
+	}
+
+	// ~1 s refills two tokens; the next submission must pass.
+	time.Sleep(1100 * time.Millisecond)
+	if _, err := s.Submit(JobSpec{Kind: KindFuzz, Seed: 299, N: 10}); err != nil {
+		t.Errorf("submit after refill: %v", err)
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth pins satellite #1: the 429 hint is
+// derived from the live queue depth rather than hard-coded, and
+// /metrics exports the queue-depth gauge and admission-rejections
+// counter a dashboard needs to see the same pressure.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	reg := obs.NewRegistry()
+	runner := &stormRunner{gate: make(chan struct{}), started: make(chan struct{}, 16)}
+	defer close(runner.gate)
+	srv, sched, _ := newTestServer(t, SchedulerOptions{
+		Workers: 1, QueueDepth: 8, Executor: runner, Metrics: reg,
+	})
+
+	// Wedge the only worker, then fill the queue with distinct specs.
+	// Once the worker is blocked inside Execute, queue occupancy can
+	// only grow, so the fill and the 429 below are deterministic.
+	if _, err := sched.Submit(JobSpec{Kind: KindFuzz, Seed: 300, N: 10}); err != nil {
+		t.Fatal(err)
+	}
+	<-runner.started
+	for i := 0; i < 8; i++ {
+		if _, err := sched.Submit(JobSpec{Kind: KindFuzz, Seed: uint64(301 + i), N: 10}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+
+	resp, _ := postJob(t, srv.URL, JobSpec{Kind: KindFuzz, Seed: 999, N: 10})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit = %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// 8 queued jobs on 1 worker: the hint must reflect the backlog, not
+	// the old hard-coded "1".
+	if want := 1 + 8/1; ra != want {
+		t.Errorf("Retry-After = %d with a full queue of 8, want %d", ra, want)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, obs.MetricQueueDepth+" 8") {
+		t.Errorf("/metrics missing %s 8:\n%s", obs.MetricQueueDepth, text)
+	}
+	if !strings.Contains(text, obs.MetricAdmissionRejections+`{reason="queue_full"} 1`) {
+		t.Errorf("/metrics missing admission-rejections counter:\n%s", text)
+	}
+}
+
+// TestSustainedOverloadBoundedQueue is satellite #3: waves of
+// submissions far past queue capacity against a wedged executor. The
+// queue must stay bounded at its depth, every overflow must surface as
+// ErrQueueFull and land in the flight recorder, and once the storm ends
+// the scheduler must drain without leaking a single goroutine (the test
+// suite runs under -race).
+func TestSustainedOverloadBoundedQueue(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	cache, err := NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(2048)
+	runner := &stormRunner{gate: make(chan struct{}), started: make(chan struct{}, 16)}
+	const workers, depth = 2, 4
+	s := NewScheduler(SchedulerOptions{
+		Workers: workers, QueueDepth: depth,
+		Cache: cache, Executor: runner, Metrics: reg, Recorder: rec,
+	})
+
+	// Wedge every worker before the storm so admission counts are
+	// deterministic: nothing drains until the gate closes.
+	var admitted, rejected int
+	seed := uint64(1000)
+	for w := 0; w < workers; w++ {
+		seed++
+		if _, err := s.Submit(JobSpec{Kind: KindFuzz, Seed: seed, N: 10}); err != nil {
+			t.Fatal(err)
+		}
+		admitted++
+		<-runner.started
+	}
+	for wave := 0; wave < 5; wave++ {
+		for i := 0; i < 50; i++ {
+			seed++
+			_, err := s.Submit(JobSpec{Kind: KindFuzz, Seed: seed, N: 10})
+			switch err {
+			case nil:
+				admitted++
+			case ErrQueueFull:
+				rejected++
+			default:
+				t.Fatalf("wave %d submit %d: %v", wave, i, err)
+			}
+		}
+		// The gauge may never exceed the configured depth, including at
+		// the instant rejections are being issued.
+		if g := reg.Gauge(obs.MetricQueueDepth).Value(); g > depth {
+			t.Fatalf("wave %d: queue depth gauge %v above bound %d", wave, g, depth)
+		}
+		if ra := s.RetryAfterSeconds(); ra > 1+depth/workers {
+			t.Fatalf("wave %d: RetryAfterSeconds %d above full-queue bound", wave, ra)
+		}
+		time.Sleep(20 * time.Millisecond) // sustain the storm across scheduler activity
+	}
+
+	// Nothing drained during the storm: exactly workers + depth jobs fit.
+	if want := workers + depth; admitted != want {
+		t.Errorf("admitted %d jobs through a wedged pool, want %d", admitted, want)
+	}
+	if admitted+rejected != 252 {
+		t.Errorf("admitted %d + rejected %d != 252 submissions", admitted, rejected)
+	}
+	var recorded int
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvJobRejected && ev.Detail == "queue_full" {
+			recorded++
+		}
+	}
+	if recorded != rejected {
+		t.Errorf("flight recorder holds %d queue_full rejections, want %d", recorded, rejected)
+	}
+	if got := reg.Counter(obs.MetricAdmissionRejections, "reason", "queue_full").Value(); got != int64(rejected) {
+		t.Errorf("%s{queue_full} = %d, want %d", obs.MetricAdmissionRejections, got, rejected)
+	}
+
+	// End the storm: release the wedged jobs, drain, and verify the pool
+	// left nothing behind.
+	close(runner.gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+	if g := reg.Gauge(obs.MetricInflightJobs).Value(); g != 0 {
+		t.Errorf("in-flight gauge %v after drain", g)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d did not settle to baseline %d after drain", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

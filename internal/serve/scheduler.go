@@ -17,10 +17,11 @@ import (
 // a control-plane hop above the per-case harness spans.
 const systemCrossd csi.System = "crossd"
 
-// Admission errors. The HTTP layer maps ErrQueueFull to 429 +
-// Retry-After and ErrDraining to 503.
+// Admission errors. The HTTP layer maps ErrQueueFull and ErrThrottled
+// to 429 + Retry-After and ErrDraining to 503.
 var (
 	ErrQueueFull = errors.New("serve: job queue full")
+	ErrThrottled = errors.New("serve: admission rate exceeded, retry later")
 	ErrDraining  = errors.New("serve: server is draining, not accepting jobs")
 )
 
@@ -155,6 +156,15 @@ type SchedulerOptions struct {
 	QueueDepth int
 	// JobTimeout bounds each job's execution (0 = none).
 	JobTimeout time.Duration
+	// AdmitRatePerSec, when > 0, enables token-bucket admission control
+	// ahead of the cache probe: sustained submission above this rate is
+	// rejected with ErrThrottled before the scheduler does any cache or
+	// disk work. The queue alone bounds how much work waits; the bucket
+	// bounds how fast work arrives — the difference matters under a
+	// retry storm, where a freshly-drained queue refills instantly.
+	AdmitRatePerSec float64
+	// AdmitBurst is the bucket size (defaults to AdmitRatePerSec).
+	AdmitBurst float64
 	// Cache is the content-addressed result cache (required).
 	Cache *Cache
 	// Executor runs the jobs (required; shared across workers). The
@@ -183,6 +193,10 @@ type Scheduler struct {
 	jobs     map[string]*Job // by ID
 	byKey    map[string]*Job // queued/running jobs, for coalescing
 	queue    chan *Job
+
+	// Admission token bucket (guarded by mu; active when AdmitRatePerSec > 0).
+	admitTokens float64
+	admitLast   time.Time
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -239,6 +253,16 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobCoalesced, Job: live.ID, Key: key, Trace: live.trace})
 		return live, nil
 	}
+	// Rate admission after coalescing (a coalesced submission costs
+	// nothing) but before the cache probe (shedding must stay cheaper
+	// than the work it sheds, and the probe can touch disk).
+	if !s.admitLocked(time.Now()) {
+		s.mu.Unlock()
+		s.count(obs.MetricJobsRejected, "reason", "throttled")
+		s.count(obs.MetricAdmissionRejections, "reason", "throttled")
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobRejected, Key: key, Detail: "throttled"})
+		return nil, ErrThrottled
+	}
 	// Cache probe under the admission lock: the lookup is memory/disk
 	// only and keeps two racing submissions of a cold key from both
 	// executing.
@@ -272,8 +296,13 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	default:
 		delete(s.jobs, job.ID)
 		delete(s.byKey, key)
+		depth := len(s.queue)
 		s.mu.Unlock()
 		s.count(obs.MetricJobsRejected, "reason", "queue_full")
+		s.count(obs.MetricAdmissionRejections, "reason", "queue_full")
+		// Keep the gauge honest at the moment clients are being told to
+		// back off: rejection time is exactly when dashboards look at it.
+		s.gauge(obs.MetricQueueDepth, float64(depth))
 		s.opts.Recorder.Record(obs.Event{Type: obs.EvJobRejected, Key: key, Trace: job.trace, Detail: "queue_full"})
 		job.span.Fail(ErrQueueFull).End()
 		return nil, ErrQueueFull
@@ -305,6 +334,53 @@ func (s *Scheduler) newJobLocked(spec JobSpec, key string) *Job {
 	job.trace = job.span.TraceID()
 	s.jobs[job.ID] = job
 	return job
+}
+
+// admitLocked spends one admission token, refilling the bucket from
+// elapsed wall time first. Caller holds s.mu. Always true when rate
+// admission is off.
+func (s *Scheduler) admitLocked(now time.Time) bool {
+	rate := s.opts.AdmitRatePerSec
+	if rate <= 0 {
+		return true
+	}
+	burst := s.opts.AdmitBurst
+	if burst <= 0 {
+		burst = rate
+	}
+	if s.admitLast.IsZero() {
+		s.admitTokens = burst
+	} else {
+		s.admitTokens += now.Sub(s.admitLast).Seconds() * rate
+		if s.admitTokens > burst {
+			s.admitTokens = burst
+		}
+	}
+	s.admitLast = now
+	if s.admitTokens < 1 {
+		return false
+	}
+	s.admitTokens--
+	return true
+}
+
+// RetryAfterSeconds derives the 429 backpressure hint from the current
+// queue depth: roughly how long the backlog ahead of a retry needs to
+// make room, at about one second of service per queued job per worker,
+// clamped to [1, 60]. A full queue therefore tells clients to wait
+// longer than a nearly-empty one — the signal a well-behaved retry
+// policy (and the loadgen engine's honoring policies) feeds into its
+// backoff floor.
+func (s *Scheduler) RetryAfterSeconds() int {
+	workers := s.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	secs := 1 + len(s.queue)/workers
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // Job looks a job up by ID.

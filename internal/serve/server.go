@@ -93,10 +93,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err == ErrDraining:
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
-	case err == ErrQueueFull:
-		// Backpressure: the queue is the admission budget; clients
-		// should retry after a short pause.
-		w.Header().Set("Retry-After", "1")
+	case err == ErrQueueFull || err == ErrThrottled:
+		// Backpressure: the hint scales with the backlog, so a client
+		// honoring Retry-After naturally spreads a storm instead of
+		// hammering a full queue every second.
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	case err != nil:

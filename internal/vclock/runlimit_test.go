@@ -1,0 +1,72 @@
+package vclock
+
+import "testing"
+
+// TestRunLimitStopsRunawayLoop pins the load engine's safety net: a
+// zero-delay self-rescheduling callback never advances virtual time,
+// and RunLimit must cut it off at the budget instead of spinning.
+func TestRunLimitStopsRunawayLoop(t *testing.T) {
+	s := New()
+	var loop func()
+	fired := 0
+	loop = func() {
+		fired++
+		s.After(0, loop)
+	}
+	s.After(0, loop)
+	n, exhausted := s.RunLimit(1000, 50)
+	if !exhausted {
+		t.Fatal("a zero-delay loop did not exhaust the budget")
+	}
+	if n != 50 || fired != 50 {
+		t.Errorf("processed %d events, callbacks fired %d, want 50/50", n, fired)
+	}
+	if s.Now() != 0 {
+		t.Errorf("virtual time advanced to %d through a zero-delay loop", s.Now())
+	}
+}
+
+// TestRunLimitUnderBudget: a finite workload inside the budget behaves
+// exactly like Run — all events fire, time lands on the horizon.
+func TestRunLimitUnderBudget(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := int64(1); i <= 5; i++ {
+		s.After(i*10, func() { fired++ })
+	}
+	n, exhausted := s.RunLimit(100, 1000)
+	if exhausted {
+		t.Fatal("finite workload reported exhaustion")
+	}
+	if n != 5 || fired != 5 {
+		t.Errorf("processed %d, fired %d, want 5/5", n, fired)
+	}
+	if s.Now() != 100 {
+		t.Errorf("Now() = %d after the horizon, want 100", s.Now())
+	}
+}
+
+// TestRunLimitResumable pins the put-the-event-back contract: after an
+// exhausted RunLimit, the interrupted event is still queued and a
+// second call picks up exactly where the first stopped.
+func TestRunLimitResumable(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 6; i++ {
+		i := i
+		s.After(int64(i+1), func() { order = append(order, i) })
+	}
+	n, exhausted := s.RunLimit(100, 3)
+	if !exhausted || n != 3 {
+		t.Fatalf("first leg: n=%d exhausted=%v, want 3/true", n, exhausted)
+	}
+	n, exhausted = s.RunLimit(100, 100)
+	if exhausted || n != 3 {
+		t.Fatalf("second leg: n=%d exhausted=%v, want 3/false", n, exhausted)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want 0..5 in sequence", order)
+		}
+	}
+}

@@ -82,6 +82,38 @@ func (s *Sim) Run(until int64) int {
 	return n
 }
 
+// RunLimit is Run with an event budget: it stops after processing
+// maxEvents events and reports whether the budget was exhausted before
+// the horizon. A workload that keeps scheduling work at the current
+// instant (a zero-delay retry loop, a self-rescheduling reconciler)
+// would otherwise spin Run forever without ever advancing time; the
+// load engine runs under RunLimit so a runaway retry storm fails
+// loudly instead of hanging the suite.
+func (s *Sim) RunLimit(until int64, maxEvents int) (n int, exhausted bool) {
+	for s.events.Len() > 0 {
+		ev := s.events[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if ev.cancelled {
+			continue
+		}
+		if n >= maxEvents {
+			// Put the event back: the caller may inspect or resume.
+			heap.Push(&s.events, ev)
+			return n, true
+		}
+		s.now = ev.at
+		ev.fn()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n, false
+}
+
 // NextAt returns the virtual time of the next live event, or -1 when
 // the queue is empty. Cancelled events at the head are discarded. It
 // lets a step-driven monitor (the partition fault plane's guided
