@@ -1,0 +1,39 @@
+// Crossvet's determinism regression: the linter must obey the
+// contract it enforces. Two full runs over the module — separate
+// loads, separate file sets — must render byte-identical reports with
+// the same sha256 fingerprint, the same reproducibility bar the
+// campaign and partition reports are held to.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func crossvetRun(t *testing.T) *lint.Report {
+	t.Helper()
+	m, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	rep, err := lint.Run(m, lint.DefaultConfig())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rep
+}
+
+func TestCrossvetDeterministic(t *testing.T) {
+	a := crossvetRun(t)
+	b := crossvetRun(t)
+	if a.Hash != b.Hash {
+		t.Errorf("report hash differs across runs: %s vs %s", a.Hash, b.Hash)
+	}
+	if ra, rb := a.Render(true), b.Render(true); ra != rb {
+		t.Errorf("rendered report differs across runs:\n--- first\n%s--- second\n%s", ra, rb)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Error("canonical body differs across runs")
+	}
+}

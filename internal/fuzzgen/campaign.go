@@ -108,7 +108,7 @@ func RunCampaign(opts Options) (*Result, error) {
 	if opts.Confs == 0 {
 		opts.Confs = 6
 	}
-	started := time.Now()
+	started := time.Now() //crossvet:wallclock Elapsed is operator-facing; the campaign hash covers Render, which excludes it
 	deadline := time.Time{}
 	if opts.Budget > 0 {
 		deadline = started.Add(opts.Budget)
@@ -172,6 +172,7 @@ batches:
 				res.Cancelled = true
 				break batches
 			}
+			//crossvet:wallclock Budget is a real-time stop knob; a budget-stopped run is marked Stopped, not pinned
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				res.Stopped = true
 				break batches
@@ -287,7 +288,7 @@ batches:
 		res.KnownHit = append(res.KnownHit, n)
 	}
 	sort.Ints(res.KnownHit)
-	res.Elapsed = time.Since(started)
+	res.Elapsed = time.Since(started) //crossvet:wallclock Elapsed is operator-facing; the campaign hash covers Render, which excludes it
 	return res, nil
 }
 

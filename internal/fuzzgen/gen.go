@@ -305,7 +305,7 @@ func genLiteral(r *Rand, typ string, invalid bool) string {
 		return fmt.Sprint(-32768 + r.Intn(65536))
 	case "INT":
 		if invalid {
-			return Pick(r, []string{fmt.Sprint(int64(2147483648) + int64(r.Intn(1 << 30))), fmt.Sprint(int64(-2147483649) - int64(r.Intn(1<<30))), "'zzz'"})
+			return Pick(r, []string{fmt.Sprint(int64(2147483648) + int64(r.Intn(1<<30))), fmt.Sprint(int64(-2147483649) - int64(r.Intn(1<<30))), "'zzz'"})
 		}
 		return Pick(r, []string{fmt.Sprint(r.Intn(1 << 31)), "-2147483648", "2147483647", fmt.Sprint(-r.Intn(1 << 31))})
 	case "BIGINT":

@@ -13,7 +13,9 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/csi"
 	"repro/internal/hdfssim"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -45,6 +47,33 @@ type RegionServer struct {
 	memstore map[string]map[string]string // table -> key -> value
 	regions  map[string]bool              // regions this server holds open
 	walSeq   int
+
+	tracer   *obs.Tracer
+	traceTop *obs.Span
+}
+
+// SetTrace attaches a tracer and a default parent span; the region
+// server then emits a span for every operation that crosses the HDFS
+// boundary (WAL appends, flushes, the startup readiness probe). A nil
+// tracer disables emission.
+func (rs *RegionServer) SetTrace(tr *obs.Tracer, parent *obs.Span) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.tracer = tr
+	rs.traceTop = parent
+}
+
+// span emits a completed boundary span; call with rs.mu held.
+func (rs *RegionServer) span(plane csi.Plane, name, detail string, err error) {
+	if rs.tracer == nil {
+		return
+	}
+	sp := rs.tracer.Span(rs.traceTop, csi.HBase, plane, name)
+	if detail != "" {
+		sp.Set("path", detail)
+	}
+	sp.Fail(err)
+	sp.End()
 }
 
 // New creates a stopped region server.
@@ -62,7 +91,11 @@ func (rs *RegionServer) Start(mode StartupMode, pollMs int64) {
 	case StartupWaitForNameNode:
 		var attempt func()
 		attempt = func() {
-			if rs.fs.InSafeMode() {
+			safe := rs.fs.InSafeMode()
+			rs.mu.Lock()
+			rs.span(csi.ControlPlane, "namenode-probe", "", nil)
+			rs.mu.Unlock()
+			if safe {
 				rs.sim.After(pollMs, attempt)
 				return
 			}
@@ -110,7 +143,9 @@ func (rs *RegionServer) Put(table, key, value string) error {
 		return err
 	}
 	walPath := fmt.Sprintf("/hbase/WALs/wal-%06d", rs.walSeq)
-	if err := rs.fs.Write(walPath, record, hdfssim.WriteOptions{}); err != nil {
+	err = rs.fs.Write(walPath, record, hdfssim.WriteOptions{})
+	rs.span(csi.DataPlane, "wal-append", walPath, err)
+	if err != nil {
 		rs.crashed = fmt.Errorf("hbase: aborting region server: WAL append failed: %w", err)
 		rs.serving = false
 		return rs.crashed
@@ -156,13 +191,22 @@ func (rs *RegionServer) Flush() error {
 	if !rs.serving || rs.crashed != nil {
 		return ErrNotServing
 	}
-	for table, cells := range rs.memstore {
-		data, err := json.Marshal(cells)
+	// Flush in sorted table order: map iteration order must not decide
+	// the sequence of HDFS writes (or the span order they emit).
+	tables := make([]string, 0, len(rs.memstore))
+	for table := range rs.memstore {
+		tables = append(tables, table)
+	}
+	sort.Strings(tables)
+	for _, table := range tables {
+		data, err := json.Marshal(rs.memstore[table])
 		if err != nil {
 			return err
 		}
 		path := fmt.Sprintf("/hbase/data/%s/hfile-%06d", table, rs.walSeq)
-		if err := rs.fs.Write(path, data, hdfssim.WriteOptions{Overwrite: true}); err != nil {
+		err = rs.fs.Write(path, data, hdfssim.WriteOptions{Overwrite: true})
+		rs.span(csi.DataPlane, "flush", path, err)
+		if err != nil {
 			if errors.Is(err, hdfssim.ErrSafeMode) {
 				rs.crashed = fmt.Errorf("hbase: aborting region server: flush failed: %w", err)
 				rs.serving = false

@@ -46,24 +46,24 @@ func LoadRegistry() []LoadDiscrepancy {
 	return []LoadDiscrepancy{
 		{
 			ID: "L1", Anchor: "aws-dynamodb-2015-09-20",
-			Title: "A transient capacity dip outlives its trigger: timed-out requests are retried into the full queue, the server burns capacity completing orphaned work, and goodput stays collapsed after load returns to normal",
-			Cell:  "naive @ 800 rps",
+			Title:      "A transient capacity dip outlives its trigger: timed-out requests are retried into the full queue, the server burns capacity completing orphaned work, and goodput stays collapsed after load returns to normal",
+			Cell:       "naive @ 800 rps",
 			Mitigation: "server-side token-bucket admission (reject cheaply at the door) or a client-side circuit breaker with terminal shed",
 			Categories: []Category{MetastableCollapse, RetryStorm},
 			Signatures: []string{"metastable-collapse"},
 		},
 		{
 			ID: "L2", Anchor: "osdi22-metastable-failures-in-the-wild",
-			Title: "Retry amplification as the sustaining effect: post-trigger offered load is a multiple of arrivals, so the system cannot drain even at sub-capacity demand",
-			Cell:  "naive @ 1600 rps",
+			Title:      "Retry amplification as the sustaining effect: post-trigger offered load is a multiple of arrivals, so the system cannot drain even at sub-capacity demand",
+			Cell:       "naive @ 1600 rps",
 			Mitigation: "capped exponential backoff bounds the amplification factor; honoring Retry-After aligns retries with drain capacity",
 			Categories: []Category{RetryStorm},
 			Signatures: []string{"retry-storm"},
 		},
 		{
 			ID: "L3", Anchor: "aws-builders-library:timeouts-retries-backoff-jitter",
-			Title: "Synchronized backoff without jitter re-clusters retries into bursts that saturate the queue at each deadline boundary",
-			Cell:  "backoff @ 800 rps",
+			Title:      "Synchronized backoff without jitter re-clusters retries into bursts that saturate the queue at each deadline boundary",
+			Cell:       "backoff @ 800 rps",
 			Mitigation: "full jitter spreads each retry uniformly over its backoff window, dissolving the bursts",
 			Categories: []Category{RetryStorm},
 			Signatures: []string{"thundering-herd"},

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The boundary-span analyzer. A call from one simulator package into
+// another is a cross-system boundary — the paper's §2 unit of
+// analysis, where implicit contracts fail through the cracks — and
+// every failure report reconstructs its propagation chain from obs
+// spans, so an exported simulator function that crosses such a
+// boundary must thread the tracer. Threading is satisfied
+// structurally, matching the repo's two idioms:
+//
+//   - the function accepts a *obs.Span or *obs.Tracer parameter (the
+//     sparksim/hivesim *Span entry points), or
+//   - its receiver's struct type carries a *obs.Tracer or *obs.Span
+//     field installed via SetTrace/SetTracer (the hdfssim/yarnsim/
+//     flinksim client pattern).
+//
+// The check is per exported function and intentionally shallow: it
+// inspects direct calls only, because the repo's convention is that
+// the exported entry point opens the span and unexported helpers take
+// it as a parameter.
+func analyzeBoundary(m *Module, cfg *Config, r *reporter) {
+	for _, p := range m.SortedPackages() {
+		if !cfg.isSim(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				if !receiverExported(p, fd) {
+					continue
+				}
+				callees := boundaryCallees(m, cfg, p, fd)
+				if len(callees) == 0 {
+					continue
+				}
+				if funcThreadsTracer(p, fd, cfg.ObsPkg) {
+					continue
+				}
+				r.add(fd.Name.Pos(), "boundary",
+					"%s.%s crosses into %s without threading the obs tracer: add a *obs.Span parameter or a *obs.Tracer field on the receiver",
+					p.Base(), funcLabel(fd), strings.Join(callees, ", "))
+			}
+		}
+	}
+}
+
+// funcLabel renders "Func" or "(Recv).Method".
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// receiverExported reports whether the function is reachable from
+// outside the package: a plain function, or a method on an exported
+// named type.
+func receiverExported(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// boundaryCallees returns the sorted base names of the *other*
+// simulator packages the function's body calls into directly.
+func boundaryCallees(m *Module, cfg *Config, p *Package, fd *ast.FuncDecl) []string {
+	seen := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		if s := p.Info.Selections[sel]; s != nil {
+			obj = s.Obj()
+		} else {
+			obj = p.Info.Uses[sel.Sel]
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg() == p.Types {
+			return true
+		}
+		callee := m.Pkgs[fn.Pkg().Path()]
+		if callee != nil && cfg.isSim(callee) {
+			seen[callee.Base()] = true
+		}
+		return true
+	})
+	var out []string
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// funcThreadsTracer reports whether the function satisfies the
+// threading contract: an obs parameter or an obs field on the
+// receiver's struct.
+func funcThreadsTracer(p *Package, fd *ast.FuncDecl, obsPkg string) bool {
+	def, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := def.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isObsPtr(sig.Params().At(i).Type(), obsPkg) {
+			return true
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if isObsPtr(st.Field(i).Type(), obsPkg) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isObsPtr reports whether t is *obs.Tracer or *obs.Span for the
+// configured obs package.
+func isObsPtr(t types.Type, obsPkg string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != obsPkg {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Tracer" || name == "Span"
+}

@@ -1,0 +1,15 @@
+package lint
+
+import "testing"
+
+func TestBoundaryFixture(t *testing.T) {
+	rep := runFixture(t, "boundary", &Config{
+		SimSuffix: "sim",
+		ObsPkg:    "bfix/internal/obs",
+	})
+	checkFindings(t, rep, []want{
+		{check: "boundary/boundary", file: "asim/asim.go", msg: "asim.Bare crosses into bsim"},
+		{check: "boundary/boundary", file: "asim/asim.go", msg: "asim.BarePkgLevel crosses into bsim"},
+		{check: "boundary/boundary", file: "asim/asim.go", waived: true, msg: "asim.Waived crosses into bsim"},
+	})
+}

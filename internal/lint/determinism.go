@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The determinism analyzer. Campaign reports must be bit-identical
+// across -parallel settings and cache keys must be pure functions of
+// the job spec, so the packages that compute them may not consult the
+// wall clock (check "wallclock"), math/rand (check "rand" — all
+// randomness flows from splitmix64 seeds), or the process environment
+// (check "env"), and may not let Go's randomized map-iteration order
+// reach a rendered or hashed output (check "maprange"). The
+// legitimately wall-clocked service/observability packages are listed
+// in Config.WallClockAllowed and simply not covered.
+
+// wallClockFuncs are the time functions that read or depend on the
+// wall clock or the runtime timer.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// envFuncs are the os functions that read the process environment.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+// renderSinkMethods are method names that serialize bytes into an
+// order-sensitive output: writers, string builders, and hashes. A map
+// range whose body reaches one of these leaks iteration order.
+var renderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Sum": true,
+}
+
+// renderSinkFuncs are package-level print/write helpers, keyed by
+// "pkgpath.Func".
+var renderSinkFuncs = map[string]bool{
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"io.WriteString": true, "encoding/binary.Write": true,
+}
+
+func analyzeDeterminism(m *Module, cfg *Config, r *reporter) {
+	for _, p := range m.SortedPackages() {
+		if !cfg.isDeterministic(m, p) {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path, _ := strconv.Unquote(imp.Path.Value)
+				if path == "math/rand" || path == "math/rand/v2" {
+					r.add(imp.Pos(), "rand",
+						"deterministic package %s imports %s; derive randomness from a splitmix64 seed instead",
+						p.Base(), path)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					pkg, name := calleePkgFunc(p.Info, n)
+					switch {
+					case pkg == "time" && wallClockFuncs[name]:
+						r.add(n.Pos(), "wallclock",
+							"deterministic package %s calls time.%s; schedule on the virtual clock instead",
+							p.Base(), name)
+					case pkg == "os" && envFuncs[name]:
+						r.add(n.Pos(), "env",
+							"deterministic package %s calls os.%s; behavior must be a pure function of the job spec",
+							p.Base(), name)
+					}
+				case *ast.RangeStmt:
+					checkMapRange(p, n, r)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleePkgFunc resolves a call to (package path, function name) when
+// the callee is a package-level function of another package; otherwise
+// returns "", "".
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// checkMapRange flags a range over a map whose body writes into an
+// order-sensitive sink. Order-insensitive bodies — collecting keys for
+// sorting, counting, set building — pass untouched.
+func checkMapRange(p *Package, rng *ast.RangeStmt, r *reporter) {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name := calleePkgFunc(p.Info, call); pkg != "" {
+			if renderSinkFuncs[pkg+"."+name] {
+				r.add(rng.Pos(), "maprange",
+					"map iteration order reaches %s.%s; iterate a sorted key slice instead", pkgBase(pkg), name)
+				return false
+			}
+			return true
+		}
+		if p.Info.Selections[sel] != nil && renderSinkMethods[sel.Sel.Name] {
+			r.add(rng.Pos(), "maprange",
+				"map iteration order reaches a %s call; iterate a sorted key slice instead", sel.Sel.Name)
+			return false
+		}
+		return true
+	})
+}
+
+// pkgBase returns the final element of an import path.
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,50 @@
+package lint
+
+import "testing"
+
+// detConfig mirrors DefaultConfig's determinism shape over the
+// fixture: det is listed deterministic, detsim is deterministic by
+// suffix, clocked is allowlisted.
+func detConfig() *Config {
+	return &Config{
+		DeterministicPkgs: []string{"internal/det"},
+		SimSuffix:         "sim",
+		WallClockAllowed:  []string{"internal/clocked"},
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	rep := runFixture(t, "determinism", detConfig())
+	checkFindings(t, rep, []want{
+		{check: "determinism/rand", file: "det/det.go", msg: "math/rand"},
+		{check: "determinism/wallclock", file: "det/det.go", msg: "time.Now"},
+		{check: "determinism/wallclock", file: "det/det.go", waived: true, msg: "time.Now"},
+		{check: "determinism/env", file: "det/det.go", msg: "os.Getenv"},
+		{check: "determinism/maprange", file: "det/det.go", msg: "WriteString"},
+		{check: "determinism/wallclock", file: "detsim/detsim.go", msg: "time.Now"},
+		{check: "waiver/no-reason", file: "det/det.go", msg: "crossvet:wallclock"},
+		{check: "waiver/unused", file: "det/det.go", msg: "crossvet:env"},
+	})
+	for _, f := range rep.Findings {
+		if f.File == "internal/clocked/clocked.go" {
+			t.Errorf("allowlisted package flagged: %s", f.line())
+		}
+	}
+}
+
+// TestDeterminismValidate pins the config guards: a package cannot be
+// both deterministic and allowlisted, and a simulator package cannot
+// be allowlisted.
+func TestDeterminismValidate(t *testing.T) {
+	m := loadFixture(t, "determinism")
+	cfg := detConfig()
+	cfg.WallClockAllowed = append(cfg.WallClockAllowed, "internal/det")
+	if _, err := Run(m, cfg); err == nil {
+		t.Error("deterministic+allowed overlap not rejected")
+	}
+	cfg = detConfig()
+	cfg.WallClockAllowed = []string{"internal/detsim"}
+	if _, err := Run(m, cfg); err == nil {
+		t.Error("allowlisted simulator package not rejected")
+	}
+}

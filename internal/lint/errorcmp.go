@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The error-contract analyzer. An error that crosses a package
+// boundary is part of that boundary's contract: the caller may
+// classify it (errors.As onto an exported error type) or match it
+// (errors.Is against the sentinel), but never compare it with ==,
+// because the producing package is free to wrap its sentinels — and
+// the simulators do, precisely to model the paper's
+// inconsistent-error-behavior category. Comparing a package's *own*
+// sentinel with == stays legal: within one package the identity is
+// part of the implementation, not a cross-system contract.
+func analyzeErrorCmp(m *Module, cfg *Config, r *reporter) {
+	for _, p := range m.SortedPackages() {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					checkSentinelOperand(m, cfg, p, r, n.X, n.Pos())
+					checkSentinelOperand(m, cfg, p, r, n.Y, n.Pos())
+				case *ast.SwitchStmt:
+					// switch err { case pkg.ErrX: } — the tag form of the
+					// same comparison.
+					if n.Tag == nil || !isErrorExpr(p, n.Tag) {
+						return true
+					}
+					for _, stmt := range n.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							checkSentinelOperand(m, cfg, p, r, e, e.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkSentinelOperand flags e when it names an exported error
+// sentinel declared package-level in a different module package.
+func checkSentinelOperand(m *Module, cfg *Config, p *Package, r *reporter, e ast.Expr, pos token.Pos) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return
+	}
+	v, ok := p.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg() == p.Types || !v.Exported() {
+		return
+	}
+	// Package-level sentinels only: the declaring scope is the
+	// package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	if !isErrorType(v.Type()) {
+		return
+	}
+	path := v.Pkg().Path()
+	if cfg.SentinelPkgPrefix != "" && !hasPathPrefix(path, cfg.SentinelPkgPrefix) {
+		return
+	}
+	r.add(pos, "errorcmp",
+		"comparison with == against sentinel %s.%s from another package; the boundary contract allows wrapping — use errors.Is",
+		pkgBase(path), v.Name())
+}
+
+// isErrorExpr reports whether the expression's static type is error.
+func isErrorExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && isErrorType(tv.Type)
+}
+
+// isErrorType reports whether t is the built-in error interface (the
+// type every sentinel declared with errors.New/fmt.Errorf carries).
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// hasPathPrefix matches an import-path prefix ("repro/" covers the
+// whole module; "repro" alone would also match "reproX").
+func hasPathPrefix(path, prefix string) bool {
+	if len(path) < len(prefix) {
+		return false
+	}
+	return path[:len(prefix)] == prefix
+}

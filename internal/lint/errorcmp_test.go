@@ -1,0 +1,16 @@
+package lint
+
+import "testing"
+
+func TestErrorCmpFixture(t *testing.T) {
+	rep := runFixture(t, "errorcmp", &Config{
+		SentinelPkgPrefix: "efix/",
+	})
+	checkFindings(t, rep, []want{
+		// Bad (==) and BadNeq (!=) both hit ErrGone.
+		{check: "errorcmp/errorcmp", file: "consumer/consumer.go", msg: "sentinel esim.ErrGone"},
+		{check: "errorcmp/errorcmp", file: "consumer/consumer.go", msg: "sentinel esim.ErrGone"},
+		{check: "errorcmp/errorcmp", file: "consumer/consumer.go", msg: "sentinel esim.ErrBusy"},
+		{check: "errorcmp/errorcmp", file: "consumer/consumer.go", waived: true, msg: "sentinel esim.ErrGone"},
+	})
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Finding is one contract violation at one source position.
+type Finding struct {
+	// File is the module-root-relative, slash-separated path.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Analyzer is the analyzer that produced the finding; Check is the
+	// specific contract clause, and is also the waiver key: a
+	// //crossvet:<check> <reason> comment on the finding's line (or the
+	// line above) waives it.
+	Analyzer string `json:"analyzer"`
+	Check    string `json:"check"`
+	Message  string `json:"message"`
+	// Waived marks a finding covered by a waiver comment; Reason is
+	// the waiver's justification.
+	Waived bool   `json:"waived,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// line renders the finding's canonical report line.
+func (f *Finding) line() string {
+	s := fmt.Sprintf("%s:%d:%d: %s/%s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Check, f.Message)
+	if f.Waived {
+		s += fmt.Sprintf(" (waived: %s)", f.Reason)
+	}
+	return s
+}
+
+// Report is one deterministic crossvet run: every finding (waived and
+// not), sorted, plus the sha256 fingerprint of the canonical body —
+// the same reproducibility convention as the crossfuzz campaign and
+// crosspart reports.
+type Report struct {
+	Module   string    `json:"module"`
+	Findings []Finding `json:"findings"`
+	Hash     string    `json:"hash"`
+}
+
+// Unwaived returns the findings not covered by a waiver.
+func (r *Report) Unwaived() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Waived {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Canonical renders the hashed body: one sorted line per finding.
+func (r *Report) Canonical() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		b.WriteString(f.line())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render produces the human-readable report. Waived findings are
+// printed only when showWaived is set; the trailing hash line is the
+// fingerprint of the full canonical body either way, so the hash is
+// independent of display flags.
+func (r *Report) Render(showWaived bool) string {
+	var b strings.Builder
+	unwaived, waived := 0, 0
+	for _, f := range r.Findings {
+		if f.Waived {
+			waived++
+		} else {
+			unwaived++
+		}
+	}
+	fmt.Fprintf(&b, "crossvet %s: %d finding(s), %d waived\n", r.Module, unwaived, waived)
+	for _, f := range r.Findings {
+		if f.Waived && !showWaived {
+			continue
+		}
+		b.WriteString(f.line())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "report-hash: sha256:%s\n", r.Hash)
+	return b.String()
+}
+
+// seal sorts, deduplicates, and fingerprints the findings. Duplicates
+// arise legitimately when two registry specs share classifier
+// functions; collapsing identical lines keeps the report stable.
+func (r *Report) seal() {
+	sort.Slice(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	dedup := r.Findings[:0]
+	for i, f := range r.Findings {
+		if i > 0 && f == r.Findings[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	r.Findings = dedup
+	sum := sha256.Sum256([]byte(r.Canonical()))
+	r.Hash = hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"bytes"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unformatted walks the module and returns the root-relative paths of
+// .go files whose contents differ from gofmt output — the in-process
+// equivalent of `gofmt -l`, so the -ci gate needs no external tools.
+// testdata trees and hidden directories are skipped, matching the
+// package loader's build rules (mutation-test fixtures are generated
+// deliberately unformatted).
+func Unformatted(root string) ([]string, error) {
+	var out []string
+	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			base := filepath.Base(p)
+			if p != root && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		fmted, err := format.Source(src)
+		if err != nil {
+			// A file that does not parse is a build problem, not a
+			// formatting one; the loader reports it with a position.
+			return nil
+		}
+		if !bytes.Equal(src, fmted) {
+			rel, err := filepath.Rel(root, p)
+			if err != nil {
+				return err
+			}
+			out = append(out, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}

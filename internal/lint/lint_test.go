@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one of the testdata mini-modules.
+func loadFixture(t *testing.T, name string) *Module {
+	t.Helper()
+	m, err := LoadModule(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return m
+}
+
+// runFixture loads and analyzes a fixture under cfg.
+func runFixture(t *testing.T, name string, cfg *Config) *Report {
+	t.Helper()
+	rep, err := Run(loadFixture(t, name), cfg)
+	if err != nil {
+		t.Fatalf("run fixture %s: %v", name, err)
+	}
+	return rep
+}
+
+// want is one expected finding, matched structurally.
+type want struct {
+	check  string // analyzer/check key
+	file   string // report-path suffix
+	waived bool
+	msg    string // message substring
+}
+
+// checkFindings asserts that the report's findings match wants 1:1,
+// in any order.
+func checkFindings(t *testing.T, rep *Report, wants []want) {
+	t.Helper()
+	used := make([]bool, len(rep.Findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range rep.Findings {
+			if used[i] || f.Analyzer+"/"+f.Check != w.check || f.Waived != w.waived {
+				continue
+			}
+			if !strings.HasSuffix(f.File, w.file) || !strings.Contains(f.Message, w.msg) {
+				continue
+			}
+			used[i], found = true, true
+			break
+		}
+		if !found {
+			t.Errorf("missing expected finding %s in %s (waived=%v, msg~%q)", w.check, w.file, w.waived, w.msg)
+		}
+	}
+	for i, f := range rep.Findings {
+		if !used[i] {
+			t.Errorf("unexpected finding: %s", f.line())
+		}
+	}
+	for _, f := range rep.Findings {
+		if f.Waived && f.Reason == "" {
+			t.Errorf("waived finding without reason: %s", f.line())
+		}
+	}
+}
+
+// copyTree copies a fixture tree into dst, dropping from the file at
+// relPath every line containing drop (which must remove exactly one
+// line). With relPath == "" the tree is copied verbatim.
+func copyTree(t *testing.T, src, dst, relPath, drop string) {
+	t.Helper()
+	dropped := 0
+	err := filepath.Walk(src, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if relPath != "" && filepath.ToSlash(rel) == relPath {
+			var kept []string
+			for _, line := range strings.Split(string(data), "\n") {
+				if strings.Contains(line, drop) {
+					dropped++
+					continue
+				}
+				kept = append(kept, line)
+			}
+			data = []byte(strings.Join(kept, "\n"))
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy fixture: %v", err)
+	}
+	if relPath != "" && dropped != 1 {
+		t.Fatalf("mutation dropped %d lines containing %q in %s; want exactly 1", dropped, drop, relPath)
+	}
+}

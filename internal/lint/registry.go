@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The registry-coverage analyzer. Each discrepancy family (the
+// Figure-6 D*, the version-skew S*, the partition P*, the load L*)
+// lives twice: as declarative registry entries in internal/inject and
+// as the classifier that maps observed failures onto signatures.
+// Nothing but hand-written round-trip tests keeps the two in sync —
+// exactly the "implicit cross-boundary contract" failure mode the
+// paper studies — so this analyzer enforces both directions
+// statically: every registry signature must be producible by its
+// classifier (no dead registry entry the oracles can never confirm),
+// and every classifier case must map back to some registry entry (no
+// failure mode silently outside the census). Only literal classifier
+// cases participate; dynamically built fallback signatures
+// ("error-<token>", fmt.Sprintf families) are deliberately out of
+// scope.
+
+// sigLit is one signature string literal with its position.
+type sigLit struct {
+	val string
+	pos token.Pos
+}
+
+func analyzeRegistry(m *Module, cfg *Config, r *reporter) {
+	// The union of every family's registry signatures: the reverse
+	// check matches against all families because a classifier shared
+	// between oracles (e.g. the skew fallthrough into the standard
+	// classifier) legitimately emits another family's signature.
+	union := map[string]bool{}
+	regSigs := make([][]sigLit, len(cfg.Registries))
+	for i, spec := range cfg.Registries {
+		regSigs[i] = registrySignatures(m, spec, r)
+		for _, s := range regSigs[i] {
+			union[s.val] = true
+		}
+	}
+	for i, spec := range cfg.Registries {
+		lits := classifierLiterals(m, spec, r)
+		set := map[string]bool{}
+		for _, l := range lits {
+			set[l.val] = true
+		}
+		// Forward: registry → classifier.
+		for _, s := range regSigs[i] {
+			if !matches(s.val, set, spec.Prefixes) {
+				r.add(s.pos, "registry",
+					"%s registry signature %q has no classifier case in %s",
+					spec.Name, s.val, pkgBase(spec.ClassifierPkg))
+			}
+		}
+		// Reverse: classifier → some registry.
+		for _, l := range lits {
+			if !claimed(l.val, union, spec.Prefixes) {
+				r.add(l.pos, "registry",
+					"classifier emits %q which no registry entry claims", l.val)
+			}
+		}
+	}
+}
+
+// matches reports whether sig equals prefix+lit for some classifier
+// literal and allowed prefix.
+func matches(sig string, lits map[string]bool, prefixes []string) bool {
+	for _, pre := range prefixes {
+		if rest, ok := strings.CutPrefix(sig, pre); ok && lits[rest] {
+			return true
+		}
+	}
+	return false
+}
+
+// claimed reports whether prefix+lit is a registered signature for
+// some allowed prefix.
+func claimed(lit string, union map[string]bool, prefixes []string) bool {
+	for _, pre := range prefixes {
+		if union[pre+lit] {
+			return true
+		}
+	}
+	return false
+}
+
+// registrySignatures collects the signature literals declared inside
+// the spec's registry functions. An anchor that yields nothing is
+// itself a finding: a renamed registry function must not make the
+// check pass vacuously.
+func registrySignatures(m *Module, spec RegistrySpec, r *reporter) []sigLit {
+	var out []sigLit
+	field := spec.SigField
+	if field == "" {
+		field = "Signatures"
+	}
+	p := m.Pkgs[spec.RegistryPkg]
+	if p == nil {
+		r.anchorStale(spec, "registry package %s not found", spec.RegistryPkg)
+		return nil
+	}
+	for _, fname := range spec.RegistryFuncs {
+		fd := findFunc(p, fname)
+		if fd == nil {
+			r.anchorStale(spec, "registry function %s.%s not found", p.Base(), fname)
+			continue
+		}
+		n := len(out)
+		collectFieldLits(fd.Body, field, &out)
+		if len(out) == n {
+			r.anchorStale(spec, "registry function %s.%s declares no %s literals", p.Base(), fname, field)
+		}
+	}
+	return out
+}
+
+// classifierLiterals collects the classifier's signature literals
+// according to the spec's shape.
+func classifierLiterals(m *Module, spec RegistrySpec, r *reporter) []sigLit {
+	p := m.Pkgs[spec.ClassifierPkg]
+	if p == nil {
+		r.anchorStale(spec, "classifier package %s not found", spec.ClassifierPkg)
+		return nil
+	}
+	var out []sigLit
+	switch {
+	case len(spec.ClassifierFuncs) > 0:
+		for _, fname := range spec.ClassifierFuncs {
+			fd := findFunc(p, fname)
+			if fd == nil {
+				r.anchorStale(spec, "classifier function %s.%s not found", p.Base(), fname)
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if lit := stringLit(res); lit != nil {
+						out = append(out, *lit)
+					}
+				}
+				return true
+			})
+		}
+	case spec.ClassifierConstPrefix != "":
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			if !strings.HasPrefix(name, spec.ClassifierConstPrefix) {
+				continue
+			}
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || c.Val().Kind() != constant.String {
+				continue
+			}
+			out = append(out, sigLit{val: constant.StringVal(c.Val()), pos: c.Pos()})
+		}
+	case spec.ClassifierField != "":
+		for _, f := range p.Files {
+			collectFieldLits(f, spec.ClassifierField, &out)
+		}
+	}
+	if len(out) == 0 {
+		r.anchorStale(spec, "classifier anchor for %s yields no signature literals", spec.Name)
+	}
+	return out
+}
+
+// collectFieldLits gathers string literals assigned to the named
+// composite-literal field — both `Field: "sig"` and
+// `Field: []string{"a", "b"}` shapes.
+func collectFieldLits(root ast.Node, field string, out *[]sigLit) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		kv, ok := n.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != field {
+			return true
+		}
+		if lit := stringLit(kv.Value); lit != nil {
+			*out = append(*out, *lit)
+			return true
+		}
+		if cl, ok := kv.Value.(*ast.CompositeLit); ok {
+			for _, el := range cl.Elts {
+				if lit := stringLit(el); lit != nil {
+					*out = append(*out, *lit)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// stringLit unquotes a string BasicLit, or returns nil.
+func stringLit(e ast.Expr) *sigLit {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return nil
+	}
+	v, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return nil
+	}
+	return &sigLit{val: v, pos: bl.Pos()}
+}
+
+// findFunc returns the package-level function declaration with the
+// given name, or nil.
+func findFunc(p *Package, name string) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name && fd.Body != nil {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// anchorStale reports a stale spec anchor. It is pinned to go.mod
+// because the missing symbol has no position of its own; it is never
+// waivable by design (there is no source line to waive it on).
+func (r *reporter) anchorStale(spec RegistrySpec, format string, args ...any) {
+	r.findings = append(r.findings, Finding{
+		File: "go.mod", Line: 1, Col: 1,
+		Analyzer: r.analyzer, Check: "anchor",
+		Message: "spec " + spec.Name + ": " + fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// regConfig mirrors the four registry↔classifier shapes of
+// DefaultConfig over the regfix fixture: switch-return, prefixed
+// skew, struct-field, and const-vocabulary.
+func regConfig() *Config {
+	return &Config{
+		Registries: []RegistrySpec{
+			{
+				Name:            "fig",
+				RegistryPkg:     "regfix/internal/reg",
+				RegistryFuncs:   []string{"FigRegistry"},
+				ClassifierPkg:   "regfix/internal/classify",
+				ClassifierFuncs: []string{"ClassifyFig"},
+				Prefixes:        []string{""},
+			},
+			{
+				Name:            "skew",
+				RegistryPkg:     "regfix/internal/reg",
+				RegistryFuncs:   []string{"SkewRegistry"},
+				ClassifierPkg:   "regfix/internal/classify",
+				ClassifierFuncs: []string{"ClassifySkew", "ClassifyFig"},
+				Prefixes:        []string{"", "skew-"},
+			},
+			{
+				Name:            "partition",
+				RegistryPkg:     "regfix/internal/reg",
+				RegistryFuncs:   []string{"PartRegistry"},
+				ClassifierPkg:   "regfix/internal/scen",
+				ClassifierField: "Signature",
+				Prefixes:        []string{""},
+			},
+			{
+				Name:                  "load",
+				RegistryPkg:           "regfix/internal/reg",
+				RegistryFuncs:         []string{"LoadRegistry"},
+				ClassifierPkg:         "regfix/internal/sigs",
+				ClassifierConstPrefix: "Sig",
+				Prefixes:              []string{""},
+			},
+		},
+	}
+}
+
+// TestRegistryFixtureClean pins the balanced fixture clean: every
+// registry signature classifiable, every classifier case claimed.
+func TestRegistryFixtureClean(t *testing.T) {
+	rep := runFixture(t, "registry", regConfig())
+	checkFindings(t, rep, nil)
+}
+
+// TestRegistryMutation is the mutation test of the coverage contract:
+// for each of the four families, delete exactly the classifier case
+// backing one registry signature from a copy of the fixture, and
+// assert crossvet reports exactly that signature — nothing more,
+// nothing less.
+func TestRegistryMutation(t *testing.T) {
+	cases := []struct {
+		family string
+		file   string // fixture-relative classifier file
+		drop   string // unique content of the line to delete
+		sig    string // the registry signature that must be reported
+	}{
+		{
+			family: "fig",
+			file:   "internal/classify/classify.go",
+			drop:   `return "fig-two"`,
+			sig:    `fig registry signature "fig-two" has no classifier case`,
+		},
+		{
+			family: "skew",
+			file:   "internal/classify/classify.go",
+			drop:   `return "sk-two"`,
+			sig:    `skew registry signature "skew-sk-two" has no classifier case`,
+		},
+		{
+			family: "partition",
+			file:   "internal/scen/scen.go",
+			drop:   `Signature: "part-two"`,
+			sig:    `partition registry signature "part-two" has no classifier case`,
+		},
+		{
+			family: "load",
+			file:   "internal/sigs/sigs.go",
+			drop:   `SigLoadTwo`,
+			sig:    `load registry signature "load-two" has no classifier case`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.family, func(t *testing.T) {
+			dst := t.TempDir()
+			copyTree(t, filepath.Join("testdata", "registry"), dst, tc.file, tc.drop)
+			m, err := LoadModule(dst)
+			if err != nil {
+				t.Fatalf("load mutated fixture: %v", err)
+			}
+			rep, err := Run(m, regConfig())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(rep.Findings) != 1 {
+				t.Fatalf("want exactly 1 finding, got %d:\n%s", len(rep.Findings), rep.Canonical())
+			}
+			f := rep.Findings[0]
+			if f.Analyzer != "registry" || f.Check != "registry" || !strings.Contains(f.Message, tc.sig) {
+				t.Errorf("wrong finding: %s (want message ~%q)", f.line(), tc.sig)
+			}
+		})
+	}
+}
+
+// TestRegistryOrphanMutation exercises the reverse direction: delete
+// a registry entry and the classifier case it claimed becomes an
+// orphan.
+func TestRegistryOrphanMutation(t *testing.T) {
+	dst := t.TempDir()
+	copyTree(t, filepath.Join("testdata", "registry"), dst, "internal/reg/reg.go", `"load-two"`)
+	m, err := LoadModule(dst)
+	if err != nil {
+		t.Fatalf("load mutated fixture: %v", err)
+	}
+	rep, err := Run(m, regConfig())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d:\n%s", len(rep.Findings), rep.Canonical())
+	}
+	f := rep.Findings[0]
+	if f.Check != "registry" || !strings.Contains(f.Message, `classifier emits "load-two" which no registry entry claims`) {
+		t.Errorf("wrong finding: %s", f.line())
+	}
+}
+
+// TestRegistryStaleAnchor pins the anti-vacuity guard: a renamed
+// registry function must surface as an anchor finding, not a silent
+// pass.
+func TestRegistryStaleAnchor(t *testing.T) {
+	cfg := regConfig()
+	cfg.Registries = cfg.Registries[:1]
+	cfg.Registries[0].RegistryFuncs = []string{"Renamed"}
+	rep, err := Run(loadFixture(t, "registry"), cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Check == "anchor" && f.File == "go.mod" && strings.Contains(f.Message, "reg.Renamed not found") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stale anchor not reported:\n%s", rep.Canonical())
+	}
+}

@@ -1,0 +1,36 @@
+package lint
+
+import "testing"
+
+// TestSelfRunClean pins the real module clean under the real config:
+// zero unwaived findings, and every waiver carries its justification.
+// This is the in-tree mirror of the CI crossvet gate — a contract
+// regression anywhere in the repo fails this test before it fails CI.
+func TestSelfRunClean(t *testing.T) {
+	m, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	rep, err := Run(m, DefaultConfig())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range rep.Unwaived() {
+		t.Errorf("unwaived finding: %s", f.line())
+	}
+	waived := 0
+	for _, f := range rep.Findings {
+		if f.Waived {
+			waived++
+			if f.Reason == "" {
+				t.Errorf("waived finding without reason: %s", f.line())
+			}
+		}
+	}
+	// The tree carries intentional, documented exceptions (the load
+	// engine's real-time storm bridge, operator-facing elapsed times);
+	// if this drops to zero the waiver plumbing itself is suspect.
+	if waived == 0 {
+		t.Error("expected at least one waived finding in the real tree")
+	}
+}

@@ -1,0 +1,3 @@
+module bfix
+
+go 1.22

@@ -1,0 +1,62 @@
+// Package asim is the caller side of the fixture boundary: every
+// threading idiom the analyzer accepts, plus the violations it must
+// flag.
+package asim
+
+import (
+	"bfix/internal/bsim"
+	"bfix/internal/obs"
+)
+
+// Bare crosses into bsim with no tracer anywhere: a finding.
+func Bare(s *bsim.Store) error { // want: boundary
+	return s.Write("k")
+}
+
+// BarePkgLevel crosses through a package-level callee: a finding.
+func BarePkgLevel() error { // want: boundary
+	return bsim.Ping()
+}
+
+// Waived is the same defect, justified.
+//
+//crossvet:boundary fixture: untraced crossing kept to prove the waiver grammar
+func Waived(s *bsim.Store) error {
+	return s.Write("k")
+}
+
+// SpanParam threads the tracer by parameter: legal.
+func SpanParam(sp *obs.Span, s *bsim.Store) error {
+	return s.Write("k")
+}
+
+// Client threads the tracer by receiver field: legal.
+type Client struct {
+	tracer *obs.Tracer
+	store  *bsim.Store
+}
+
+// Do crosses the boundary from a traced receiver: legal.
+func (c *Client) Do() error {
+	return c.store.Write("k")
+}
+
+// bareClient is unexported: its methods are outside the contract.
+type bareClient struct {
+	store *bsim.Store
+}
+
+// Do is exported but unreachable from outside the package.
+func (c *bareClient) Do() error {
+	return c.store.Write("k")
+}
+
+// helper is unexported: outside the contract.
+func helper(s *bsim.Store) error {
+	return s.Write("k")
+}
+
+// Local never leaves the package: no boundary, no finding.
+func Local(c *bareClient) error {
+	return helper(c.store)
+}

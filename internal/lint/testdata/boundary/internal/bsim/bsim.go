@@ -1,0 +1,11 @@
+// Package bsim is the callee side of the fixture boundary.
+package bsim
+
+// Store is the shared-state system asim crosses into.
+type Store struct{}
+
+// Write is the boundary operation.
+func (s *Store) Write(key string) error { return nil }
+
+// Ping is a package-level boundary operation.
+func Ping() error { return nil }

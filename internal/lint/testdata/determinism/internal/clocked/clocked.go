@@ -1,0 +1,8 @@
+// Package clocked is a fixture for the allowlist: a legitimately
+// wall-clocked package the determinism analyzer must not cover.
+package clocked
+
+import "time"
+
+// Stamp may use the wall clock freely.
+func Stamp() int64 { return time.Now().UnixMilli() }

@@ -1,0 +1,53 @@
+// Package det is a fixture: an explicitly-listed deterministic
+// package carrying one violation of each determinism sub-check plus
+// one waived site and the two waiver-hygiene defects.
+package det
+
+import (
+	"math/rand" // want: rand
+	"os"
+	"strings"
+	"time"
+)
+
+// WallClock trips the wallclock check.
+func WallClock() int64 {
+	return time.Now().UnixMilli() // want: wallclock
+}
+
+// WaivedClock is the same call, justified.
+func WaivedClock() int64 {
+	return time.Now().UnixMilli() //crossvet:wallclock fixture: timing is display-only
+}
+
+// Env trips the env check.
+func Env() string {
+	return os.Getenv("HOME") // want: env
+}
+
+// Render trips the maprange check: iteration order reaches a builder.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want: maprange
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Collect is the legal shape: order-insensitive accumulation.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Rand exists to use the import.
+func Rand() int { return rand.Int() }
+
+//crossvet:wallclock
+var reasonless = 0 // the directive above has no reason: want waiver/no-reason
+
+//crossvet:env fixture: this waiver covers nothing and must be reported unused
+var unusedWaiver = 0

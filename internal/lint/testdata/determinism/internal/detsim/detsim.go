@@ -1,0 +1,10 @@
+// Package detsim is a fixture simulator package: deterministic by
+// suffix, not by listing.
+package detsim
+
+import "time"
+
+// Tick trips the wallclock check through the sim-suffix rule.
+func Tick() time.Time {
+	return time.Now() // want: wallclock
+}

@@ -1,0 +1,3 @@
+module efix
+
+go 1.22

@@ -1,0 +1,51 @@
+// Package consumer compares errors across the fixture boundary in
+// every shape the analyzer distinguishes.
+package consumer
+
+import (
+	"errors"
+
+	"efix/internal/esim"
+)
+
+// ErrLocal is this package's own sentinel: == against it stays legal.
+var ErrLocal = errors.New("consumer: local")
+
+// Bad compares a foreign sentinel with ==: a finding.
+func Bad() bool {
+	return esim.Do() == esim.ErrGone // want: errorcmp
+}
+
+// BadNeq compares with !=: a finding.
+func BadNeq() bool {
+	return esim.Do() != esim.ErrGone // want: errorcmp
+}
+
+// BadSwitch is the tag form of the same comparison: a finding.
+func BadSwitch() string {
+	switch esim.Do() {
+	case esim.ErrBusy: // want: errorcmp
+		return "busy"
+	}
+	return "ok"
+}
+
+// Waived is the == form, justified.
+func Waived() bool {
+	return esim.Do() == esim.ErrGone //crossvet:errorcmp fixture: identity comparison kept to prove the waiver grammar
+}
+
+// Good matches with errors.Is: legal.
+func Good() bool {
+	return errors.Is(esim.Do(), esim.ErrGone)
+}
+
+// GoodLocal compares its own sentinel: legal.
+func GoodLocal(err error) bool {
+	return err == ErrLocal
+}
+
+// GoodNil compares against nil: legal.
+func GoodNil(err error) bool {
+	return err == nil
+}

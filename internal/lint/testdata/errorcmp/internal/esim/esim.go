@@ -1,0 +1,13 @@
+// Package esim declares the fixture's foreign sentinels.
+package esim
+
+import "errors"
+
+// ErrGone is the sentinel other packages must match with errors.Is.
+var ErrGone = errors.New("esim: gone")
+
+// ErrBusy exercises the switch-tag form.
+var ErrBusy = errors.New("esim: busy")
+
+// Do returns a (possibly wrapped) sentinel.
+func Do() error { return ErrGone }

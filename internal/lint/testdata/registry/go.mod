@@ -1,0 +1,3 @@
+module regfix
+
+go 1.22

@@ -1,0 +1,26 @@
+// Package classify mirrors internal/core's classifier switches.
+package classify
+
+// ClassifyFig is the Figure-6-shaped classifier: literal returns per
+// case, dynamic fallback out of scope.
+func ClassifyFig(code string) string {
+	switch code {
+	case "a":
+		return "fig-one"
+	case "b":
+		return "fig-two"
+	}
+	return "fallback-" + code
+}
+
+// ClassifySkew returns bare names that the oracle prefixes with
+// "skew-" at the emit site.
+func ClassifySkew(code string) string {
+	switch code {
+	case "x":
+		return "sk-one"
+	case "y":
+		return "sk-two"
+	}
+	return "fallback-" + code
+}

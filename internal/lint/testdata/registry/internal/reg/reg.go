@@ -1,0 +1,43 @@
+// Package reg mirrors internal/inject: four registry families, each
+// declaring the classifier signatures that confirm its entries.
+package reg
+
+// Entry is the common registry-entry shape.
+type Entry struct {
+	ID         string
+	Signatures []string
+}
+
+// FigRegistry mirrors the Figure-6 family (switch-return classifier).
+func FigRegistry() []Entry {
+	return []Entry{
+		{ID: "D1", Signatures: []string{"fig-one"}},
+		{ID: "D2", Signatures: []string{"fig-two"}},
+	}
+}
+
+// SkewRegistry mirrors the S* family: prefixed signatures produced by
+// a classifier that returns bare names, plus one bare standard-oracle
+// signature (the S1 pattern).
+func SkewRegistry() []Entry {
+	return []Entry{
+		{ID: "S1", Signatures: []string{"skew-sk-one", "fig-one"}},
+		{ID: "S2", Signatures: []string{"skew-sk-two"}},
+	}
+}
+
+// PartRegistry mirrors the P* family (struct-field classifier).
+func PartRegistry() []Entry {
+	return []Entry{
+		{ID: "P1", Signatures: []string{"part-one"}},
+		{ID: "P2", Signatures: []string{"part-two"}},
+	}
+}
+
+// LoadRegistry mirrors the L* family (const-vocabulary classifier).
+func LoadRegistry() []Entry {
+	return []Entry{
+		{ID: "L1", Signatures: []string{"load-one"}},
+		{ID: "L2", Signatures: []string{"load-two"}},
+	}
+}

@@ -1,0 +1,17 @@
+// Package scen mirrors internal/partition's scenario registry: the
+// classifier keys live in Signature struct fields.
+package scen
+
+// Scenario is the fixture scenario shape.
+type Scenario struct {
+	Name      string
+	Signature string
+}
+
+// Scenarios returns the fixture scenarios.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "one", Signature: "part-one"},
+		{Name: "two", Signature: "part-two"},
+	}
+}

@@ -1,0 +1,9 @@
+// Package sigs mirrors internal/loadgen's signature vocabulary: the
+// classifier keys are Sig* string constants.
+package sigs
+
+// The classifier vocabulary.
+const (
+	SigLoadOne = "load-one"
+	SigLoadTwo = "load-two"
+)

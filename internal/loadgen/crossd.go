@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -122,7 +123,9 @@ func DriveScheduler(sched *serve.Scheduler, opts CrossdStormOptions) (*CrossdSto
 	stats := &CrossdStormStats{Sessions: int64(opts.Sessions)}
 	var mu sync.Mutex
 	breaker := &lockedBreaker{b: NewBreaker(opts.Breaker)}
+	//crossvet:wallclock the storm bridge deliberately drives a real scheduler in wall time; nothing here feeds a pinned report
 	start := time.Now()
+	//crossvet:wallclock breaker timestamps measure the same wall-clock storm, not virtual time
 	nowMs := func() int64 { return time.Since(start).Milliseconds() }
 
 	work := make(chan int)
@@ -169,10 +172,11 @@ func runStormSession(sched *serve.Scheduler, opts CrossdStormOptions, i int,
 		}
 		bump(func() { stats.Attempts++ })
 		job, err := sched.Submit(spec)
-		switch err {
-		case nil:
+		switch {
+		case err == nil:
 			select {
 			case <-job.Done():
+			//crossvet:wallclock the admitted-job wait races real scheduler completion against a wall-clock deadline by design
 			case <-time.After(opts.WaitTimeout):
 				bump(func() { stats.Failed++ })
 				breaker.record(nowMs(), false)
@@ -186,9 +190,9 @@ func runStormSession(sched *serve.Scheduler, opts CrossdStormOptions, i int,
 				breaker.record(nowMs(), false)
 			}
 			return
-		case serve.ErrQueueFull, serve.ErrThrottled:
+		case errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrThrottled):
 			bump(func() {
-				if err == serve.ErrThrottled {
+				if errors.Is(err, serve.ErrThrottled) {
 					stats.RejectThrottle++
 				} else {
 					stats.RejectQueue++
@@ -201,6 +205,7 @@ func runStormSession(sched *serve.Scheduler, opts CrossdStormOptions, i int,
 				bump(func() { stats.GiveUps++ })
 				return
 			}
+			//crossvet:wallclock retry backoff sleeps real time against the real scheduler (compressed by DelayDiv)
 			time.Sleep(time.Duration(d) * time.Millisecond / time.Duration(opts.DelayDiv))
 		default:
 			bump(func() { stats.Failed++ })

@@ -83,14 +83,14 @@ type WindowStats struct {
 
 // RunStats is one cell's full outcome.
 type RunStats struct {
-	Label     string        `json:"label"`
-	Windows   []WindowStats `json:"windows"`
-	Totals    WindowStats   `json:"totals"`
-	P50Ms     float64       `json:"p50_ms"`
-	P95Ms     float64       `json:"p95_ms"`
-	P99Ms     float64       `json:"p99_ms"`
-	BreakerOpens int64      `json:"breaker_opens,omitempty"`
-	Events    int           `json:"events"`
+	Label        string        `json:"label"`
+	Windows      []WindowStats `json:"windows"`
+	Totals       WindowStats   `json:"totals"`
+	P50Ms        float64       `json:"p50_ms"`
+	P95Ms        float64       `json:"p95_ms"`
+	P99Ms        float64       `json:"p99_ms"`
+	BreakerOpens int64         `json:"breaker_opens,omitempty"`
+	Events       int           `json:"events"`
 	// BackendOps / BackendErrs mirror the SimServer's control-plane
 	// counters when a Backend is attached.
 	BackendOps  int64 `json:"backend_ops,omitempty"`

@@ -78,11 +78,11 @@ type Cell struct {
 
 // PhaseResult is a full sweep.
 type PhaseResult struct {
-	Seed      uint64  `json:"seed"`
-	Admission bool    `json:"admission"`
+	Seed      uint64   `json:"seed"`
+	Admission bool     `json:"admission"`
 	Policies  []string `json:"policies"`
-	PeakRPS   []int64 `json:"peak_rps"`
-	Cells     []Cell  `json:"cells"` // row-major: policies x peaks
+	PeakRPS   []int64  `json:"peak_rps"`
+	Cells     []Cell   `json:"cells"` // row-major: policies x peaks
 }
 
 // columnSeed derives the arrival-schedule seed for one load column: a

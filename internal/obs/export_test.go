@@ -183,8 +183,8 @@ func TestExemplarFreeHistogramUnchanged(t *testing.T) {
 func TestStripExemplar(t *testing.T) {
 	for in, want := range map[string]string{
 		`m_bucket{le="1"} 3 # {trace_id="ab"} 0.5`: `m_bucket{le="1"} 3`,
-		`m{k="a # b"} 2`:                           `m{k="a # b"} 2`,
-		`m 1`:                                      `m 1`,
+		`m{k="a # b"} 2`: `m{k="a # b"} 2`,
+		`m 1`:            `m 1`,
 	} {
 		if got := stripExemplar(in); got != want {
 			t.Errorf("stripExemplar(%q) = %q, want %q", in, got, want)

@@ -221,9 +221,9 @@ func TestFixedSkipsUnknownNodes(t *testing.T) {
 		Seed: goldenSeed, Scenarios: []string{"yarn-app-state"},
 		Strategy: StrategyFixed,
 		Schedule: []Cut{
-			{AtMs: 2050, From: "am", To: "rm"},         // applies: inside P3's window
-			{AtMs: 2100, From: "dn1", To: "nn"},        // P1 nodes; skipped here
-			{AtMs: 10, From: "controller", To: "b1"},   // P5 nodes; skipped here
+			{AtMs: 2050, From: "am", To: "rm"},       // applies: inside P3's window
+			{AtMs: 2100, From: "dn1", To: "nn"},      // P1 nodes; skipped here
+			{AtMs: 10, From: "controller", To: "b1"}, // P5 nodes; skipped here
 		},
 	})
 	out := res.Outcomes[0]

@@ -128,8 +128,8 @@ func scenarioYarnServiceStop() *Scenario {
 			in := NewInstance(sim)
 			rm := yarnsim.New(sim, yarnsim.Options{})
 
-			nmState := ""  // the container's real state on the NodeManager
-			rmCache := ""  // the RM's view of it
+			nmState := "" // the container's real state on the NodeManager
+			rmCache := "" // the RM's view of it
 			stopRequested, stopped := false, false
 
 			rm.RequestContainers(1, yarnsim.Resource{MemoryMB: 1024, Vcores: 1},

@@ -103,9 +103,9 @@ func TestCacheRejectsBadKeys(t *testing.T) {
 	for _, key := range []string{
 		"",
 		"short",
-		strings.Repeat("g", 64),                 // non-hex
+		strings.Repeat("g", 64), // non-hex
 		"../../../../etc/passwd" + testKey(0)[:41], // traversal attempt
-		strings.Repeat("A", 64),                 // uppercase hex not canonical
+		strings.Repeat("A", 64),                    // uppercase hex not canonical
 	} {
 		if err := c.Put(key, []byte("x")); err == nil {
 			t.Errorf("Put accepted invalid key %q", key)

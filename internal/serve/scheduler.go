@@ -570,7 +570,7 @@ func reportSHA(data []byte) string {
 }
 
 // metric helpers: all tolerate a nil registry.
-func (s *Scheduler) count(name string, labels ...string)  { s.record(name, labels...) }
+func (s *Scheduler) count(name string, labels ...string) { s.record(name, labels...) }
 func (s *Scheduler) record(name string, labels ...string) {
 	if s.opts.Metrics != nil {
 		s.opts.Metrics.Counter(name, labels...).Inc()
