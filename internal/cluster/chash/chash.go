@@ -1,0 +1,130 @@
+// Package chash is the consistent-hash ring the cluster's distributed
+// cache tier is built on: cache keys (the serve content addresses) map
+// to nodes so that membership changes move only the keys they must —
+// on a node join or leave, at most ~1/N of the keyspace remaps, and
+// every unmoved key keeps its owner. That stability is what lets a
+// resharded resubmission find its sub-results on peers instead of
+// re-executing them.
+package chash
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per member: enough to keep
+// the load spread within a small factor of even for single-digit
+// clusters without making ring rebuilds expensive.
+const DefaultReplicas = 128
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node names.
+// Build one with New; membership changes build a new ring (they are
+// rare — a rebuild is microseconds — and immutability makes the ring
+// safe to share without locks).
+type Ring struct {
+	points []point
+	nodes  []string
+}
+
+// New builds a ring with DefaultReplicas virtual nodes per member.
+// Duplicate names collapse; order does not matter (two rings over the
+// same member set are identical).
+func New(nodes ...string) *Ring {
+	return NewReplicas(DefaultReplicas, nodes...)
+}
+
+// NewReplicas builds a ring with an explicit virtual-node count.
+func NewReplicas(replicas int, nodes ...string) *Ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // total order even on (vanishingly rare) hash ties
+	})
+	return r
+}
+
+// Nodes returns the member names, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning the key: the first virtual node at or
+// after the key's hash, wrapping. Empty string on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].node
+}
+
+// Preference returns all members in the key's ring order: the owner
+// first, then each distinct successor. A reader probing peers in this
+// order finds a key that moved in a membership change at its previous
+// owner — the new owner's successor set contains the old owner —
+// which is the property peer-fetch-before-recompute relies on.
+func (r *Ring) Preference(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.nodes))
+	seen := map[string]bool{}
+	for i, n := r.search(key), 0; n < len(r.points); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+		if len(out) == len(r.nodes) {
+			break
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or after the key's
+// hash (wrapping to 0).
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// hash64 is the ring's point hash: the first 8 bytes of sha256, the
+// same construction the cache keys themselves use — uniform, stable
+// across processes and platforms, and with no seed to disagree on.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,166 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%06d", i)
+	}
+	return out
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%c", 'a'+i)
+	}
+	return out
+}
+
+// The ring must spread keys within a reasonable factor of even for the
+// cluster sizes crossd actually runs (2–5 nodes): no node under half
+// or over twice its fair share across a large key population.
+func TestDistributionBounds(t *testing.T) {
+	const total = 20000
+	for n := 2; n <= 5; n++ {
+		r := New(nodeNames(n)...)
+		counts := map[string]int{}
+		for _, k := range keys(total) {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d nodes: only %d received keys", n, len(counts))
+		}
+		fair := total / n
+		for node, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Errorf("%d nodes: %s owns %d keys, fair share %d (outside [%d,%d])",
+					n, node, c, fair, fair/2, fair*2)
+			}
+		}
+	}
+}
+
+// Consistency: growing or shrinking the membership by one node remaps
+// at most ~1/N of the keyspace (we allow 2/N for virtual-node
+// variance), and every unmoved key keeps its exact owner.
+func TestRemapFractionOnMembershipChange(t *testing.T) {
+	const total = 20000
+	ks := keys(total)
+	for n := 2; n <= 5; n++ {
+		names := nodeNames(n)
+		before := New(names...)
+		grown := New(append(append([]string{}, names...), "node-z")...)
+		shrunk := New(names[:n-1]...)
+
+		moved := 0
+		for _, k := range ks {
+			if before.Owner(k) != grown.Owner(k) {
+				moved++
+			}
+		}
+		if limit := 2 * total / (n + 1); moved > limit {
+			t.Errorf("join at n=%d: %d/%d keys moved, limit %d", n, moved, total, limit)
+		}
+		for _, k := range ks {
+			if g := grown.Owner(k); g != "node-z" && g != before.Owner(k) {
+				t.Fatalf("join at n=%d: key %s moved between old nodes (%s -> %s)", n, k, before.Owner(k), g)
+			}
+		}
+
+		moved = 0
+		lost := names[n-1]
+		for _, k := range ks {
+			b := before.Owner(k)
+			s := shrunk.Owner(k)
+			if b != s {
+				moved++
+				if b != lost {
+					t.Fatalf("leave at n=%d: key %s moved off a surviving node (%s -> %s)", n, k, b, s)
+				}
+			}
+		}
+		if limit := 2 * total / n; moved > limit {
+			t.Errorf("leave at n=%d: %d/%d keys moved, limit %d", n, moved, total, limit)
+		}
+	}
+}
+
+// The reshard guarantee: after a join, a key's previous owner appears
+// in its new preference list — so a peer fetch walking the list finds
+// results computed before the membership change.
+func TestPreferenceCoversPreviousOwner(t *testing.T) {
+	before := New(nodeNames(3)...)
+	after := New(append(nodeNames(3), "node-z")...)
+	for _, k := range keys(2000) {
+		old := before.Owner(k)
+		found := false
+		for _, n := range after.Preference(k) {
+			if n == old {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %s: previous owner %s absent from new preference %v", k, old, after.Preference(k))
+		}
+	}
+}
+
+// Preference lists every member exactly once, starting with the owner.
+func TestPreferenceShape(t *testing.T) {
+	r := New(nodeNames(4)...)
+	for _, k := range keys(500) {
+		pref := r.Preference(k)
+		if len(pref) != 4 {
+			t.Fatalf("key %s: preference %v does not cover the membership", k, pref)
+		}
+		if pref[0] != r.Owner(k) {
+			t.Fatalf("key %s: preference starts at %s, owner is %s", k, pref[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range pref {
+			if seen[n] {
+				t.Fatalf("key %s: node %s repeated in preference %v", k, n, pref)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// Construction is order- and duplicate-insensitive, and the ring is a
+// pure function of the member set.
+func TestRingCanonical(t *testing.T) {
+	a := New("x", "y", "z")
+	b := New("z", "x", "y", "x", "")
+	if got, want := fmt.Sprint(a.Nodes()), fmt.Sprint(b.Nodes()); got != want {
+		t.Fatalf("member sets differ: %s vs %s", got, want)
+	}
+	for _, k := range keys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner differs across construction orders", k)
+		}
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d, want 3", a.Len())
+	}
+}
+
+// Degenerate rings behave: empty returns zero values, single-node owns
+// everything.
+func TestDegenerateRings(t *testing.T) {
+	empty := New()
+	if empty.Owner("k") != "" || empty.Preference("k") != nil || empty.Len() != 0 {
+		t.Error("empty ring should own nothing")
+	}
+	solo := New("only")
+	for _, k := range keys(100) {
+		if solo.Owner(k) != "only" {
+			t.Fatal("single-node ring must own every key")
+		}
+	}
+}

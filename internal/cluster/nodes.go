@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseNodes parses a "name=url[,name=url...]" membership flag into
+// node clients — the spelling both the coordinator's -cluster flag and
+// a worker's -peers flag use, so one membership string configures the
+// whole cluster.
+func ParseNodes(spec string) (map[string]*NodeClient, error) {
+	nodes := map[string]*NodeClient{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("cluster: node entry %q is not name=url", entry)
+		}
+		if _, dup := nodes[name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", name)
+		}
+		nodes[name] = &NodeClient{Name: name, BaseURL: strings.TrimRight(url, "/")}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty node list")
+	}
+	return nodes, nil
+}

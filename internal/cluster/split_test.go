@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/serve"
+	"repro/internal/versions"
+)
+
+func TestSplitCorpusByFamily(t *testing.T) {
+	subs, ok, err := Split(serve.JobSpec{Kind: serve.KindCorpus}, 3)
+	if err != nil || !ok {
+		t.Fatalf("split: ok=%v err=%v", ok, err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("got %d corpus shards, want 3", len(subs))
+	}
+	for i, want := range []string{"ss", "sh", "hs"} {
+		sub := subs[i].Spec
+		if len(sub.Families) != 1 || sub.Families[0] != want || !sub.Shard {
+			t.Errorf("shard %d: %+v, want single family %s with Shard", i, sub, want)
+		}
+	}
+
+	// A restricted family list splits into only the requested families;
+	// a single family does not split at all.
+	subs, ok, err = Split(serve.JobSpec{Kind: serve.KindCorpus, Families: []string{"hs", "ss"}}, 3)
+	if err != nil || !ok || len(subs) != 2 {
+		t.Fatalf("restricted: ok=%v err=%v subs=%d", ok, err, len(subs))
+	}
+	if subs[0].Spec.Families[0] != "ss" || subs[1].Spec.Families[0] != "hs" {
+		t.Errorf("restricted shards out of canonical order: %v then %v", subs[0].Spec.Families, subs[1].Spec.Families)
+	}
+	if _, ok, _ := Split(serve.JobSpec{Kind: serve.KindCorpus, Families: []string{"sh"}}, 3); ok {
+		t.Error("single-family corpus should not split")
+	}
+}
+
+func TestSplitFuzzContiguousRanges(t *testing.T) {
+	spec := serve.JobSpec{Kind: serve.KindFuzz, Seed: 7, N: 10}
+	subs, ok, err := Split(spec, 3)
+	if err != nil || !ok {
+		t.Fatalf("split: ok=%v err=%v", ok, err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("got %d fuzz shards, want 3", len(subs))
+	}
+	next, total := 0, 0
+	for i, sub := range subs {
+		s := sub.Spec
+		if !s.Shard || s.Seed != 7 {
+			t.Errorf("shard %d: %+v", i, s)
+		}
+		if s.From != next {
+			t.Errorf("shard %d starts at %d, want %d (contiguous)", i, s.From, next)
+		}
+		next = s.From + s.N
+		total += s.N
+	}
+	if total != 10 {
+		t.Errorf("shard sizes sum to %d, want 10", total)
+	}
+	// Sizes differ by at most one: 10 = 4+3+3.
+	if subs[0].Spec.N != 4 || subs[1].Spec.N != 3 || subs[2].Spec.N != 3 {
+		t.Errorf("uneven shard sizes: %d/%d/%d", subs[0].Spec.N, subs[1].Spec.N, subs[2].Spec.N)
+	}
+
+	// Degenerate factors do not split; an oversized factor clamps.
+	if _, ok, _ := Split(spec, 1); ok {
+		t.Error("factor 1 should not split")
+	}
+	subs, ok, _ = Split(serve.JobSpec{Kind: serve.KindFuzz, Seed: 7, N: 2}, 8)
+	if !ok || len(subs) != 2 {
+		t.Errorf("factor clamps to N: got %d shards", len(subs))
+	}
+}
+
+func TestSplitSkewPerPair(t *testing.T) {
+	subs, ok, err := Split(serve.JobSpec{Kind: serve.KindSkew}, 3)
+	if err != nil || !ok {
+		t.Fatalf("split: ok=%v err=%v", ok, err)
+	}
+	defaults := versions.DefaultPairs()
+	if len(subs) != len(defaults) {
+		t.Fatalf("got %d skew shards, want %d (the default matrix)", len(subs), len(defaults))
+	}
+	for i, sub := range subs {
+		s := sub.Spec
+		if len(s.Pairs) != 1 || s.Pairs[0] != defaults[i].String() {
+			t.Errorf("shard %d pairs = %v, want [%s]", i, s.Pairs, defaults[i])
+		}
+		// Skew shards are plain specs — a user submitting the same
+		// single pair directly must land on the same cache key.
+		if s.Shard {
+			t.Errorf("shard %d carries the Shard marker; skew shards are plain", i)
+		}
+		plain := serve.JobSpec{Kind: serve.KindSkew, Pairs: []string{defaults[i].String()}}
+		want, err := plain.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Key != want {
+			t.Errorf("shard %d key differs from the equivalent direct submission", i)
+		}
+	}
+}
+
+func TestSplitPartitionPerScenario(t *testing.T) {
+	subs, ok, err := Split(serve.JobSpec{Kind: serve.KindPartition, Seed: 3}, 3)
+	if err != nil || !ok {
+		t.Fatalf("split: ok=%v err=%v", ok, err)
+	}
+	all := partition.Scenarios()
+	if len(subs) != len(all) {
+		t.Fatalf("got %d partition shards, want %d (the registry)", len(subs), len(all))
+	}
+	for i, sub := range subs {
+		s := sub.Spec
+		if len(s.Scenarios) != 1 || s.Scenarios[0] != all[i].Name || s.Shard {
+			t.Errorf("shard %d: %+v, want plain single-scenario %s", i, s, all[i].Name)
+		}
+	}
+
+	// The fixed strategy carries an explicit cut schedule validated
+	// against the scenario union — it must not split.
+	fixed := serve.JobSpec{
+		Kind:     serve.KindPartition,
+		Strategy: string(partition.StrategyFixed),
+		Schedule: []partition.Cut{{From: "nn", To: "dn1", AtMs: 100, HealAtMs: 400}},
+	}
+	if _, ok, err := Split(fixed, 3); err != nil || ok {
+		t.Errorf("fixed-strategy partition split: ok=%v err=%v, want no split", ok, err)
+	}
+}
+
+func TestSplitSweepPassthrough(t *testing.T) {
+	if _, ok, err := Split(serve.JobSpec{Kind: serve.KindSweep}, 3); err != nil || ok {
+		t.Errorf("sweep split: ok=%v err=%v, want no split", ok, err)
+	}
+}
+
+func TestSplitRejectsInvalidSpec(t *testing.T) {
+	if _, _, err := Split(serve.JobSpec{Kind: "bogus"}, 3); err == nil {
+		t.Error("invalid spec must not split cleanly")
+	}
+}

@@ -32,6 +32,15 @@ type CaseResult struct {
 	// Span is the case's root span when the run traces (nil otherwise);
 	// the spans beneath it are the case's cross-system interactions.
 	Span *obs.Span
+	// Rank encodes the case's position in the run's global enumeration
+	// order as a string whose lexicographic order equals enumeration
+	// order. Fields are fixed-width decimals joined by 0x1f (below every
+	// printable key character, so a shorter rank that is a prefix of a
+	// longer one still sorts first). A sharded run stamps the same ranks
+	// its unsharded equivalent would, which is what lets a coordinator
+	// merge sub-reports and pick the same representative failures the
+	// single-node run picks.
+	Rank string
 }
 
 // Describe renders the case coordinates for logs.
@@ -49,6 +58,14 @@ type Failure struct {
 	// Chain is the rendered cross-system propagation chain of the
 	// failing case (empty when the run did not trace).
 	Chain string
+	// Rank orders this failure within the run's deterministic failure
+	// sequence: an oracle-block tag ("0" write/read, "1" error handling,
+	// "2" differential across interfaces, "3" across formats) followed
+	// by the case rank (or, for differential failures, the probe-group
+	// key and peer ordinal), 0x1f-separated. Sorting any subset of a
+	// run's failures by Rank reproduces their relative emission order,
+	// so shards of a split job agree on which failure came first.
+	Rank string
 }
 
 // RunOptions configure a harness run.
@@ -113,7 +130,15 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 	if opts.Tracer != nil {
 		d.SetTracer(opts.Tracer)
 	}
+	// Plan positions are indexes into the unfiltered Plans() slice: a
+	// family-restricted run (a corpus shard) stamps the same case ranks
+	// the full run would, so shard failure order merges back into the
+	// global order.
+	planPos := map[string]int{}
 	plans := Plans()
+	for i, p := range plans {
+		planPos[p.Name()] = i
+	}
 	if len(opts.Families) > 0 {
 		want := make(map[string]bool, len(opts.Families))
 		for _, f := range opts.Families {
@@ -132,9 +157,12 @@ func Run(inputs []Input, opts RunOptions) (*RunResult, error) {
 	for i := range inputs {
 		in := &inputs[i]
 		for _, plan := range plans {
-			for _, format := range Formats() {
+			for fi, format := range Formats() {
 				table := fmt.Sprintf("t_%s_%s_%04d", plan.Name(), format, in.ID)
-				cases = append(cases, &CaseResult{Input: in, Plan: plan, Format: format, Table: table})
+				cases = append(cases, &CaseResult{
+					Input: in, Plan: plan, Format: format, Table: table,
+					Rank: caseRank(i, planPos[plan.Name()], fi),
+				})
 			}
 		}
 	}
@@ -262,6 +290,29 @@ func runPool[T any](ctx context.Context, n int, items []T, run func(T)) error {
 	return nil
 }
 
+// rankSep joins rank fields. 0x1f sorts below every digit, letter and
+// '|', so a rank that is a prefix of another still compares first —
+// plain string order over ranks is enumeration order.
+const rankSep = "\x1f"
+
+// caseRank encodes an input×plan×format coordinate of Run's
+// enumeration (input slice index, unfiltered plan index, format index).
+func caseRank(input, plan, format int) string {
+	return fmt.Sprintf("%06d%s%03d%s%03d", input, rankSep, plan, rankSep, format)
+}
+
+// tableRank encodes a column of an explicitly-ordered TableCase
+// (RunTables enumeration: case ordinal, then column).
+func tableRank(ord int64, column int) string {
+	return fmt.Sprintf("%010d%s%03d", ord, rankSep, column)
+}
+
+// failureRank prefixes a case rank with its oracle-block tag; blocks
+// are emitted in tag order by applyOracles.
+func failureRank(block string, caseRank string) string {
+	return block + rankSep + caseRank
+}
+
 // emitFailures forwards failures to a streaming hook, in order.
 func emitFailures(hook func(Failure), failures []Failure) {
 	if hook == nil {
@@ -295,6 +346,7 @@ func writeReadOracle(cases []*CaseResult) []Failure {
 				Case:      c,
 				Signature: classifyError(c.Write.Err),
 				Detail:    fmt.Sprintf("write of valid data failed: %v", c.Write.Err),
+				Rank:      failureRank("0", c.Rank),
 			})
 		case c.Read.Err != nil:
 			out = append(out, Failure{
@@ -302,6 +354,7 @@ func writeReadOracle(cases []*CaseResult) []Failure {
 				Case:      c,
 				Signature: classifyError(c.Read.Err),
 				Detail:    fmt.Sprintf("read of written data failed: %v", c.Read.Err),
+				Rank:      failureRank("0", c.Rank),
 			})
 		case !c.Read.HasRow:
 			out = append(out, Failure{
@@ -309,6 +362,7 @@ func writeReadOracle(cases []*CaseResult) []Failure {
 				Case:      c,
 				Signature: "row-missing",
 				Detail:    "written row not returned",
+				Rank:      failureRank("0", c.Rank),
 			})
 		case !c.Read.Value.EqualData(c.Input.Expected):
 			out = append(out, Failure{
@@ -316,6 +370,7 @@ func writeReadOracle(cases []*CaseResult) []Failure {
 				Case:      c,
 				Signature: classifyValueDiff(c.Input.Expected, c.Read.Value),
 				Detail:    fmt.Sprintf("wrote %s, read %s", c.Input.Expected, c.Read.Value),
+				Rank:      failureRank("0", c.Rank),
 			})
 		}
 	}
@@ -341,6 +396,7 @@ func errorHandlingOracle(cases []*CaseResult) []Failure {
 			Case:      c,
 			Signature: classifyTargetFamily(c.Input.Type),
 			Detail:    fmt.Sprintf("invalid input stored silently as %s", c.Read.Value),
+			Rank:      failureRank("1", c.Rank),
 		})
 	}
 	return out
@@ -359,12 +415,12 @@ func differentialOracle(cases []*CaseResult) []Failure {
 		kp := fmt.Sprintf("%d|%s", c.Input.ID, c.Plan.Name())
 		byPlan[kp] = append(byPlan[kp], c)
 	}
-	out = append(out, diffGroups(byFamilyFormat, "across interfaces")...)
-	out = append(out, diffGroups(byPlan, "across formats")...)
+	out = append(out, diffGroups(byFamilyFormat, "across interfaces", "2")...)
+	out = append(out, diffGroups(byPlan, "across formats", "3")...)
 	return out
 }
 
-func diffGroups(groups map[string][]*CaseResult, scope string) []Failure {
+func diffGroups(groups map[string][]*CaseResult, scope, rankTag string) []Failure {
 	// Iterate in sorted key order: failure order (and therefore cluster
 	// membership order and report examples) must not depend on map
 	// iteration, or two identical runs render different reports.
@@ -381,7 +437,7 @@ func diffGroups(groups map[string][]*CaseResult, scope string) []Failure {
 		}
 		base := group[0]
 		baseKey := outcomeKey(base)
-		for _, peer := range group[1:] {
+		for pi, peer := range group[1:] {
 			peerKey := outcomeKey(peer)
 			if peerKey == baseKey {
 				continue
@@ -392,6 +448,11 @@ func diffGroups(groups map[string][]*CaseResult, scope string) []Failure {
 				Peer:      peer,
 				Signature: classifyDiffPair(base, peer),
 				Detail:    fmt.Sprintf("inconsistent %s: %s [%s] vs %s [%s]", scope, base.Describe(), baseKey, peer.Describe(), peerKey),
+				// The group key (sorted-string order) then the peer ordinal:
+				// diff groups never straddle a family or seed-range shard, so
+				// this reproduces the unsharded emission order within the
+				// block.
+				Rank: failureRank(rankTag, k+rankSep+fmt.Sprintf("%06d", pi)),
 			})
 		}
 	}

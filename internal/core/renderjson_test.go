@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// RenderReportJSON must reproduce Render() byte-for-byte from the JSON
+// projection — it is the cluster coordinator's only way to render a
+// merged report, and the merged ReportSHA is pinned against the
+// single-node hash.
+func TestRenderReportJSONMatchesRender(t *testing.T) {
+	inputs, err := BuildCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Run(inputs, RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run.Report.Render()
+	got := RenderReportJSON(run.Report.JSON())
+	if got != want {
+		t.Errorf("RenderReportJSON diverges from Render:\n--- render ---\n%s\n--- from json ---\n%s", want, got)
+	}
+}
+
+// Failure ranks must sort in emission order: the coordinator merges
+// shard failure lists by rank, and the merged first failure (the
+// report example) must be the one the unsharded run emits first.
+func TestFailureRanksFollowEmissionOrder(t *testing.T) {
+	inputs, err := BuildCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Run(inputs, RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Failures) == 0 {
+		t.Fatal("corpus run produced no failures")
+	}
+	ranks := make([]string, len(run.Failures))
+	for i, f := range run.Failures {
+		if f.Rank == "" {
+			t.Fatalf("failure %d (%s) has no rank", i, f.Signature)
+		}
+		ranks[i] = f.Rank
+	}
+	if !sort.StringsAreSorted(ranks) {
+		for i := 1; i < len(ranks); i++ {
+			if ranks[i] < ranks[i-1] {
+				t.Fatalf("rank order broken at %d: %q then %q", i, ranks[i-1], ranks[i])
+			}
+		}
+	}
+	seen := map[string]int{}
+	for i, r := range ranks {
+		if j, dup := seen[r]; dup {
+			t.Fatalf("duplicate rank %q at %d and %d", r, j, i)
+		}
+		seen[r] = i
+	}
+}
+
+// A family-restricted run must stamp the same ranks the full run
+// stamps for that family's failures — the shard-invariance property
+// the cluster merge depends on.
+func TestShardRanksMatchFullRun(t *testing.T) {
+	inputs, err := BuildCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(inputs, RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullByRank := map[string]string{}
+	for _, f := range full.Failures {
+		fullByRank[f.Rank] = f.Signature
+	}
+	var shardRanks int
+	for _, fam := range []string{"ss", "sh", "hs"} {
+		shard, err := Run(inputs, RunOptions{Families: []string{fam}, Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range shard.Failures {
+			sig, ok := fullByRank[f.Rank]
+			if !ok {
+				t.Fatalf("family %s: rank %q not present in full run", fam, f.Rank)
+			}
+			if sig != f.Signature {
+				t.Fatalf("family %s: rank %q maps to %q in shard, %q in full run", fam, f.Rank, f.Signature, sig)
+			}
+			shardRanks++
+		}
+	}
+	if shardRanks != len(full.Failures) {
+		t.Fatalf("family shards produced %d ranked failures, full run %d", shardRanks, len(full.Failures))
+	}
+}

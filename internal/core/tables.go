@@ -28,6 +28,12 @@ type TableCase struct {
 	Plan    Plan
 	Format  string
 
+	// Ord is the case's ordinal in its workload's global enumeration
+	// (fuzzgen stamps case-index × max-assignments + assignment). Column
+	// ranks derive from it, so a seed-range shard of a campaign ranks
+	// its failures exactly as the full campaign would.
+	Ord int64
+
 	// results, populated by RunTables: one pseudo CaseResult per column.
 	results []*CaseResult
 }
@@ -120,6 +126,7 @@ func columnResults(tc *TableCase, write WriteOutcome, outcome WideOutcome) []*Ca
 			Format: tc.Format,
 			Table:  tc.Label,
 			Write:  WriteOutcome{Err: write.Err, Warnings: write.Warnings},
+			Rank:   tableRank(tc.Ord, i),
 		}
 		pseudo.Read.Err = outcome.ReadErr
 		pseudo.Read.Warnings = outcome.Warnings

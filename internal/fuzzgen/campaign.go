@@ -29,6 +29,13 @@ type Options struct {
 	Seed uint64
 	// N is the number of generated probe groups.
 	N int
+	// From offsets the generated index range to [From, From+N): a
+	// coordinator shards a campaign into contiguous seed ranges whose
+	// cases, table labels, and failure ranks are exactly the slices the
+	// full campaign would produce (g.Case(i) is pure in i). 0 — the
+	// whole campaign — is the default and leaves pre-existing
+	// fixed-seed hashes untouched.
+	From int
 	// Parallel is the harness worker count per batch (values below 2
 	// run sequentially; negative is an error).
 	Parallel int
@@ -63,6 +70,12 @@ type Cluster struct {
 	Known     int // discrepancy number in the Figure-6 registry, 0 if new
 	Count     int
 	Example   string
+	// FirstRank orders the cluster's first failure within the campaign's
+	// global emission order: the (configuration × version-pair) cell
+	// ordinal, then the failure's core rank, 0x1f-separated. Merging
+	// shard clusters by minimum FirstRank reproduces the Example (and
+	// reproducer seed case) the unsharded campaign picks.
+	FirstRank string
 }
 
 // Reproducer is one minimized new-signature failure, as persisted to
@@ -104,6 +117,9 @@ func RunCampaign(opts Options) (*Result, error) {
 	}
 	if opts.N < 0 {
 		return nil, fmt.Errorf("fuzzgen: N must be non-negative, got %d", opts.N)
+	}
+	if opts.From < 0 {
+		return nil, fmt.Errorf("fuzzgen: From must be non-negative, got %d", opts.From)
 	}
 	if opts.Confs == 0 {
 		opts.Confs = 6
@@ -147,7 +163,7 @@ func RunCampaign(opts Options) (*Result, error) {
 	for i, conf := range g.ConfPool() {
 		confIndex[confKey(conf)] = i
 	}
-	for i := 0; i < opts.N; i++ {
+	for i := opts.From; i < opts.From+opts.N; i++ {
 		c := g.Case(i)
 		cases = append(cases, &genCase{index: i, c: c, conf: confIndex[confKey(c.Conf)]})
 	}
@@ -167,7 +183,7 @@ func RunCampaign(opts Options) (*Result, error) {
 	firstBySig := map[string]*genCase{}
 batches:
 	for confIdx := 0; confIdx < len(g.ConfPool()); confIdx++ {
-		for _, pairSpec := range pairOrder {
+		for pairIdx, pairSpec := range pairOrder {
 			if ctxCancelled(opts.Context) {
 				res.Cancelled = true
 				break batches
@@ -226,10 +242,17 @@ batches:
 			res.Executed += groups
 			res.TableCases += len(batch)
 			res.Failures += len(run.Failures)
+			cellOrd := confIdx*len(pairOrder) + pairIdx
 			for _, f := range run.Failures {
 				cl, ok := clusters[f.Signature]
 				if !ok {
-					cl = &Cluster{Signature: f.Signature}
+					cl = &Cluster{
+						Signature: f.Signature,
+						// Within a batch emission order equals rank order,
+						// and batches run in cell order — so cell ordinal +
+						// rank is the failure's global position.
+						FirstRank: fmt.Sprintf("%08d\x1f%s", cellOrd, f.Rank),
+					}
 					if d, known := knownSigs[f.Signature]; known {
 						cl.Known = d.Number
 					}
@@ -341,7 +364,13 @@ func (res *Result) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Cross-system fuzz campaign\n")
 	fmt.Fprintf(&b, "==========================\n")
-	fmt.Fprintf(&b, "seed=%d n=%d confs=%d\n", res.Opts.Seed, res.Opts.N, res.Opts.Confs)
+	fmt.Fprintf(&b, "seed=%d n=%d confs=%d", res.Opts.Seed, res.Opts.N, res.Opts.Confs)
+	if res.Opts.From > 0 {
+		// Printed only on shard runs, so whole-campaign hashes pinned
+		// before sharding existed stay valid.
+		fmt.Fprintf(&b, " from=%d", res.Opts.From)
+	}
+	fmt.Fprintf(&b, "\n")
 	if res.Opts.Versions {
 		// Printed only when the version axis is armed, so pre-version
 		// campaign hashes are untouched.

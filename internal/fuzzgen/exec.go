@@ -61,6 +61,11 @@ func TableCases(c *Case, index int) ([]*core.TableCase, error) {
 			Columns: cols,
 			Plan:    plan,
 			Format:  a.Format,
+			// Global enumeration ordinal: case index scaled past the
+			// assignment bound (generated cases carry ≤ 4 assignments,
+			// the grid pattern), so column ranks from a seed-range shard
+			// line up with the full campaign's.
+			Ord: int64(index)*maxColumnsPerCase + int64(i),
 		})
 	}
 	return out, nil

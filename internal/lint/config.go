@@ -80,6 +80,8 @@ type RegistrySpec struct {
 func DefaultConfig() *Config {
 	return &Config{
 		DeterministicPkgs: []string{
+			"internal/cluster/chash",
+			"internal/cluster/merge",
 			"internal/core",
 			"internal/fuzzgen",
 			"internal/loadgen",
@@ -91,6 +93,7 @@ func DefaultConfig() *Config {
 		},
 		SimSuffix: "sim",
 		WallClockAllowed: []string{
+			"internal/cluster",
 			"internal/serve",
 			"internal/obs",
 			"internal/benchrec",

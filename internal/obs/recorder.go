@@ -33,6 +33,19 @@ const (
 	EvPartitionCut      = "partition_cut"
 	EvPartitionHeal     = "partition_heal"
 	EvInvariantViolated = "invariant_violated"
+	// Cluster-tier activity. Peer-cache probes against the distributed
+	// tier (Detail carries the serving node on a hit); sub-job fan-out
+	// lifecycle on the coordinator (Detail carries the node); a steal
+	// when an idle node takes a sub-job queued for another; a requeue
+	// when a node dies mid-flight and its sub-jobs go back to the pool;
+	// a node leaving the membership after failed health checks.
+	EvPeerCacheHit     = "peer_cache_hit"
+	EvPeerCacheMiss    = "peer_cache_miss"
+	EvSubJobDispatched = "subjob_dispatched"
+	EvSubJobDone       = "subjob_done"
+	EvSubJobStolen     = "subjob_stolen"
+	EvSubJobRequeued   = "subjob_requeued"
+	EvNodeDown         = "node_down"
 )
 
 // Event is one structured flight-recorder entry. Seq and TimeNs are

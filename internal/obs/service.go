@@ -54,6 +54,16 @@ const (
 	MetricLoadGoodput   = "loadgen_goodput_total"
 	MetricLoadRejected  = "loadgen_rejected_total"
 	MetricLoadLatencyMs = "loadgen_latency_ms"
+	// The cluster-tier metrics. Peer-cache hits/misses count the
+	// scheduler's pre-execution probes of the distributed cache tier
+	// (a hit skipped a full harness run); sub-job counters track the
+	// coordinator's fan-out, labelled by node, with steals counted when
+	// a sub-job runs on a node other than its cache-affinity owner.
+	MetricPeerCacheHits   = "crossd_peer_cache_hits_total"
+	MetricPeerCacheMisses = "crossd_peer_cache_misses_total"
+	MetricSubJobsDispatch = "crossd_subjobs_dispatched_total"
+	MetricSubJobsStolen   = "crossd_subjobs_stolen_total"
+	MetricSubJobsRequeued = "crossd_subjobs_requeued_total"
 )
 
 // The stages of the crossd job pipeline, in order: admission queue
@@ -65,6 +75,13 @@ const (
 	StageCacheProbe = "cache_probe"
 	StageRun        = "run"
 	StageEncode     = "encode"
+	// The cluster stages: the peer-cache probe a worker makes before
+	// executing, and the coordinator's split → fan-out → merge pipeline
+	// around the per-node sub-job runs.
+	StagePeerProbe = "peer_probe"
+	StageSplit     = "split"
+	StageFanout    = "fanout"
+	StageMerge     = "merge"
 )
 
 // SetHitRatio recomputes and stores the cache hit ratio gauge from the

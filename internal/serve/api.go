@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fuzzgen"
 	"repro/internal/partition"
 	"repro/internal/versions"
 )
@@ -77,6 +78,17 @@ type JobSpec struct {
 	HoldMs    int64           `json:"hold_ms,omitempty"`
 	Schedule  []partition.Cut `json:"schedule,omitempty"`
 
+	// Cluster sharding parameters. From offsets a fuzz campaign's
+	// generated index range to [From, From+N) — a coordinator splits a
+	// campaign into contiguous seed-range sub-jobs. Shard marks a
+	// sub-job of a split corpus or fuzz parent: the executor then
+	// attaches the merge metadata (failure ranks, shard reproducers)
+	// the coordinator needs to reassemble the parent report
+	// byte-identically. Both omitempty and zero on every direct
+	// submission, so pre-cluster cache keys are byte-identical.
+	From  int  `json:"from,omitempty"`
+	Shard bool `json:"shard,omitempty"`
+
 	// Parallel is the per-job harness worker count (not part of the
 	// cache key; values below 2 run sequentially).
 	Parallel int `json:"parallel,omitempty"`
@@ -108,12 +120,21 @@ func (s *JobSpec) Validate() error {
 		if s.Confs < 0 {
 			return fmt.Errorf("serve: confs must be non-negative, got %d", s.Confs)
 		}
+		if s.From < 0 {
+			return fmt.Errorf("serve: from must be non-negative, got %d", s.From)
+		}
 	case KindPartition:
 		if err := s.validatePartition(); err != nil {
 			return err
 		}
 	default:
 		return fmt.Errorf("serve: unknown job kind %q (want %s, %s, %s, %s, or %s)", s.Kind, KindCorpus, KindSweep, KindFuzz, KindSkew, KindPartition)
+	}
+	if s.From != 0 && s.Kind != KindFuzz {
+		return fmt.Errorf("serve: from applies only to fuzz jobs, got kind %q", s.Kind)
+	}
+	if s.Shard && s.Kind != KindCorpus && s.Kind != KindFuzz {
+		return fmt.Errorf("serve: shard applies only to corpus and fuzz jobs, got kind %q", s.Kind)
 	}
 	if s.Parallel < 0 {
 		return fmt.Errorf("serve: parallel must be non-negative, got %d", s.Parallel)
@@ -202,6 +223,12 @@ type keySpec struct {
 	Trials    int             `json:"trials,omitempty"`
 	HoldMs    int64           `json:"hold_ms,omitempty"`
 	Schedule  []partition.Cut `json:"schedule,omitempty"`
+	// Cluster shard fields, appended after the partition schema: a
+	// shard result carries merge metadata a whole-job result does not,
+	// so the two must never share a content address. Both omitempty and
+	// zero on plain submissions — pre-cluster keys are byte-identical.
+	From  int  `json:"from,omitempty"`
+	Shard bool `json:"shard,omitempty"`
 }
 
 const cacheKeyVersion = 1
@@ -269,6 +296,7 @@ func (s *JobSpec) CacheKey() (string, error) {
 		if ks.Confs == 0 {
 			ks.Confs = 6 // the fuzzgen default, so 0 and 6 share a key
 		}
+		ks.From = s.From
 	case KindPartition:
 		ks.Seed = s.Seed
 		// Defaults are normalized into the key (a 0-trials and a
@@ -295,6 +323,7 @@ func (s *JobSpec) CacheKey() (string, error) {
 		}
 		ks.Schedule = append([]partition.Cut(nil), s.Schedule...)
 	}
+	ks.Shard = s.Shard
 	return core.HashSpec(ks)
 }
 
@@ -310,6 +339,7 @@ type ClusterJSON struct {
 type FuzzJSON struct {
 	Seed          uint64        `json:"seed"`
 	N             int           `json:"n"`
+	From          int           `json:"from,omitempty"`
 	Confs         int           `json:"confs"`
 	Executed      int           `json:"executed"`
 	TableCases    int           `json:"table_cases"`
@@ -336,6 +366,24 @@ type SkewJSON struct {
 	Cells []SkewCellJSON `json:"cells"`
 }
 
+// MergeMeta is the shard-to-coordinator side channel: everything a
+// deterministic merge needs that the rendered payloads do not carry.
+// Only Shard sub-job results populate it (corpus and fuzz kinds), so
+// plain job results are byte-identical to their pre-cluster shape.
+type MergeMeta struct {
+	// Ranks maps each failure cluster's signature to the rank of its
+	// first failure in the global emission order (corpus: the core
+	// failure rank; fuzz: cell ordinal + core rank). The coordinator
+	// keeps the Example — and, for fuzz, the reproducer — from the
+	// shard whose rank is minimal: exactly the failure the unsharded
+	// run sees first.
+	Ranks map[string]string `json:"ranks,omitempty"`
+	// Reproducers are the shard's minimized reproducers (fuzz only);
+	// Shrink is pure, so the minimum-rank shard's reproducer is the one
+	// the unsharded campaign emits.
+	Reproducers []fuzzgen.Reproducer `json:"reproducers,omitempty"`
+}
+
 // JobResult is what /result returns (and what the cache stores,
 // verbatim): the job's content address, its spec, the human-readable
 // rendering with its sha256, and the kind-specific machine-readable
@@ -353,6 +401,7 @@ type JobResult struct {
 	Sweep     []core.SweepCell  `json:"sweep,omitempty"`
 	Partition *partition.Result `json:"partition,omitempty"`
 	Conf      map[string]string `json:"conf,omitempty"`
+	Merge     *MergeMeta        `json:"merge,omitempty"`
 }
 
 // Job states.

@@ -62,6 +62,9 @@ func (e *Executor) Execute(ctx context.Context, spec JobSpec, onFailure func(cor
 		rj := run.Report.JSON()
 		res.Report = &rj
 		res.Rendered = run.Report.Render()
+		if spec.Shard {
+			res.Merge = corpusMergeMeta(run.Report)
+		}
 	case KindSweep:
 		inputs, err := corpusInputs(spec.InputPrefix)
 		if err != nil {
@@ -86,6 +89,7 @@ func (e *Executor) Execute(ctx context.Context, spec JobSpec, onFailure func(cor
 			Context:   ctx,
 			Seed:      spec.Seed,
 			N:         spec.N,
+			From:      spec.From,
 			Confs:     spec.Confs,
 			Parallel:  spec.Parallel,
 			Tracer:    e.Tracer,
@@ -106,6 +110,9 @@ func (e *Executor) Execute(ctx context.Context, spec JobSpec, onFailure func(cor
 		}
 		res.Fuzz = fuzzJSON(camp)
 		res.Rendered = camp.Render()
+		if spec.Shard {
+			res.Merge = fuzzMergeMeta(camp)
+		}
 	case KindSkew:
 		inputs, err := corpusInputs(spec.InputPrefix)
 		if err != nil {
@@ -238,10 +245,38 @@ func skewJSON(m *core.SkewMatrix) *SkewJSON {
 	return out
 }
 
+// corpusMergeMeta captures, per failure cluster, the rank of its first
+// failure — the coordinator's tiebreak for which shard's Example
+// represents the merged cluster.
+func corpusMergeMeta(r *core.Report) *MergeMeta {
+	m := &MergeMeta{Ranks: map[string]string{}}
+	for _, f := range r.Found {
+		if len(f.Failures) > 0 {
+			m.Ranks[f.Signature] = f.Failures[0].Rank
+		}
+	}
+	return m
+}
+
+// fuzzMergeMeta captures each cluster's first-failure rank and the
+// shard's minimized reproducers; the coordinator keeps the example and
+// reproducer of the minimum-rank shard per signature.
+func fuzzMergeMeta(camp *fuzzgen.Result) *MergeMeta {
+	m := &MergeMeta{Ranks: map[string]string{}}
+	for _, cl := range camp.Clusters {
+		m.Ranks[cl.Signature] = cl.FirstRank
+	}
+	for _, r := range camp.Reproducers {
+		m.Reproducers = append(m.Reproducers, *r)
+	}
+	return m
+}
+
 func fuzzJSON(camp *fuzzgen.Result) *FuzzJSON {
 	out := &FuzzJSON{
 		Seed:          camp.Opts.Seed,
 		N:             camp.Opts.N,
+		From:          camp.Opts.From,
 		Confs:         camp.Opts.Confs,
 		Executed:      camp.Executed,
 		TableCases:    camp.TableCases,

@@ -26,9 +26,20 @@ var (
 )
 
 // Runner executes one job spec under a context. *Executor is the
-// production implementation.
+// production implementation; a cluster coordinator is another (it
+// "executes" a large job by splitting it across worker nodes).
 type Runner interface {
 	Execute(ctx context.Context, spec JobSpec, onFailure func(core.Failure)) (*JobResult, error)
+}
+
+// PeerCache is the distributed cache tier a clustered scheduler probes
+// before executing: Fetch asks the peers that could own the key for a
+// finished result (marshaled JobResult bytes), Offer pushes a locally
+// computed result to the key's owner. Both are best-effort — a tier
+// that is down degrades to local execution, never to an error.
+type PeerCache interface {
+	Fetch(ctx context.Context, key string) ([]byte, bool)
+	Offer(key string, data []byte)
 }
 
 // Job is one admitted submission. All mutable state is guarded by mu;
@@ -181,6 +192,12 @@ type SchedulerOptions struct {
 	// Recorder, when non-nil, is the flight recorder fed with
 	// admission, cache, drain, and oracle events (/debug/events).
 	Recorder *obs.Recorder
+	// Peers, when non-nil, is the distributed cache tier: after a local
+	// cache miss, a worker probes the key's peer owners before running
+	// anything, and offers locally computed results back to the owner.
+	// This is what makes a resharded resubmission free cluster-wide —
+	// the sub-job keys are location-independent content addresses.
+	Peers PeerCache
 }
 
 // Scheduler owns the job table and the bounded worker pool.
@@ -430,6 +447,23 @@ func (s *Scheduler) runJob(job *Job) {
 	s.stage(obs.StageQueueWait, wait, job.trace)
 	s.opts.Recorder.Record(obs.Event{Type: obs.EvJobStarted, Job: job.ID, Key: job.Key, Trace: job.trace})
 
+	// Distributed cache tier: after the local miss that queued this
+	// job, ask the key's peer owners before executing anything. The
+	// probe runs outside every lock — it is network I/O.
+	if s.opts.Peers != nil {
+		probeStart := time.Now()
+		data, ok := s.opts.Peers.Fetch(ctx, job.Key)
+		s.stage(obs.StagePeerProbe, time.Since(probeStart), job.trace)
+		if ok && validPeerResult(job.Key, data) {
+			s.count(obs.MetricPeerCacheHits)
+			s.opts.Recorder.Record(obs.Event{Type: obs.EvPeerCacheHit, Job: job.ID, Key: job.Key, Trace: job.trace})
+			s.finishFromPeer(job, data)
+			return
+		}
+		s.count(obs.MetricPeerCacheMisses)
+		s.opts.Recorder.Record(obs.Event{Type: obs.EvPeerCacheMiss, Job: job.ID, Key: job.Key, Trace: job.trace})
+	}
+
 	runSpan := job.span.Child(systemCrossd, csi.ControlPlane, "run")
 	runStart := time.Now()
 	res, err := s.opts.Executor.Execute(ctx, job.Spec, func(f core.Failure) {
@@ -474,6 +508,10 @@ func (s *Scheduler) runJob(job *Job) {
 			final = StreamEvent{Type: StateDone, ReportSHA: res.ReportSHA}
 			if cerr := s.opts.Cache.Put(job.Key, data); cerr != nil {
 				final.Error = cerr.Error() // disk spill failure is non-fatal
+			} else if s.opts.Peers != nil {
+				// Write-through to the key's owner so any node can serve
+				// the next resubmission without re-executing.
+				s.opts.Peers.Offer(job.Key, data)
 			}
 		}
 		s.stage(obs.StageEncode, time.Since(encStart), job.trace)
@@ -516,6 +554,52 @@ func (s *Scheduler) runJob(job *Job) {
 		job.span.Fail(err)
 	}
 	job.span.Set("state", state).End()
+}
+
+// finishFromPeer completes a job whose result arrived from the
+// distributed cache tier: stored locally, published, and counted as a
+// finished (cache-hit) job — without one case executing.
+func (s *Scheduler) finishFromPeer(job *Job, data []byte) {
+	final := StreamEvent{Type: StateDone, CacheHit: true, ReportSHA: reportSHA(data)}
+	if cerr := s.opts.Cache.Put(job.Key, data); cerr != nil {
+		final.Error = cerr.Error() // disk spill failure is non-fatal
+	}
+	job.mu.Lock()
+	job.state = StateDone
+	job.cacheHit = true
+	job.finished = time.Now()
+	job.result = data
+	dur := job.finished.Sub(job.started)
+	job.mu.Unlock()
+
+	s.mu.Lock()
+	if s.byKey[job.Key] == job {
+		delete(s.byKey, job.Key)
+	}
+	s.mu.Unlock()
+
+	job.emit(final)
+	job.closeSubs()
+	close(job.done)
+	s.addGauge(obs.MetricInflightJobs, -1)
+	s.count(obs.MetricJobsFinished, "state", StateDone)
+	if m := s.opts.Metrics; m != nil {
+		m.Histogram(obs.MetricJobDurationMs, nil, "kind", job.Spec.Kind).
+			ObserveExemplar(float64(dur)/float64(time.Millisecond), job.trace)
+	}
+	s.opts.Recorder.Record(obs.Event{Type: obs.EvJobDone, Job: job.ID, Key: job.Key, Trace: job.trace})
+	job.span.Set("cache", "peer").Set("state", StateDone).End()
+}
+
+// validPeerResult guards against a confused or stale peer: the bytes
+// must decode as a JobResult whose content address matches the key we
+// asked for. Anything else is treated as a miss.
+func validPeerResult(key string, data []byte) bool {
+	var res JobResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return false
+	}
+	return res.Key == key
 }
 
 // Drain stops admission, lets queued and in-flight jobs finish, and

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -43,6 +44,10 @@ type ServerOptions struct {
 	// Version is the build identity reported by /healthz (for example
 	// buildinfo.Get().String()); empty omits the field.
 	Version string
+	// Cluster, when non-nil, is mounted at GET /cluster — on a
+	// coordinator node it serves the cluster-wide aggregated metrics
+	// and membership view.
+	Cluster http.Handler
 }
 
 // NewServer wires the API over a scheduler.
@@ -53,6 +58,11 @@ func NewServer(sched *Scheduler, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /api/v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /api/v1/cache/{key}", s.handleCachePut)
+	if opts.Cluster != nil {
+		s.mux.Handle("GET /cluster", opts.Cluster)
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
@@ -195,6 +205,57 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleCacheGet serves a finished result straight from the node's
+// content-addressed cache — the peer-fetch side of the distributed
+// cache tier. 404 is a plain miss, not an error.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed cache key"})
+		return
+	}
+	data, ok := s.sched.opts.Cache.Get(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "cache miss"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// maxCachePutBytes bounds an accepted cache offer; the largest real
+// result (a full skew matrix) is well under a megabyte.
+const maxCachePutBytes = 64 << 20
+
+// handleCachePut accepts a peer's write-through offer: the bytes must
+// decode as a JobResult whose content address matches the path key, so
+// a confused peer cannot poison the tier.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed cache key"})
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxCachePutBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + err.Error()})
+		return
+	}
+	if len(data) > maxCachePutBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "cache entry too large"})
+		return
+	}
+	if !validPeerResult(key, data) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body is not a JobResult for key " + key})
+		return
+	}
+	if err := s.sched.opts.Cache.Put(key, data); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
